@@ -1,0 +1,58 @@
+/// Ablation (extension): endogenous selfishness. The paper postulates nodes
+/// turn selfish because of "limited battery power"; here nodes actually
+/// economize once their battery drops below a threshold. Compare an
+/// always-cooperative population against battery-conscious populations with
+/// shrinking battery capacities, and report the token-distribution fairness
+/// (the mechanism's fairness claim).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Ablation: battery-conscious nodes (endogenous selfishness)", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+
+  util::Table table({"battery (J)", "population", "MDR", "suppressed contacts",
+                     "energy (J)", "token fairness"});
+  struct Case {
+    const char* label;
+    double fraction;
+    double capacity_j;
+  };
+  const Case cases[] = {
+      {"all cooperative", 0.0, 20000.0},
+      {"50% battery-conscious, large battery", 0.5, 20000.0},
+      {"50% battery-conscious, medium battery", 0.5, 120.0},
+      {"50% battery-conscious, small battery", 0.5, 40.0},
+  };
+  for (const Case& c : cases) {
+    scenario::ScenarioConfig cfg = bench::base_config(scale);
+    cfg.scheme = scenario::Scheme::kIncentive;
+    cfg.battery_conscious_fraction = c.fraction;
+    cfg.battery_capacity_j = c.capacity_j;
+    cfg.messages_per_node_per_hour = 1.0;  // enough traffic to drain batteries
+    const auto agg = runner.run(cfg);
+    double suppressed = 0.0, energy = 0.0, fairness = 0.0;
+    for (const auto& r : agg.raw) {
+      suppressed += static_cast<double>(r.contacts_suppressed);
+      energy += r.total_energy_j;
+      fairness += r.token_fairness;
+    }
+    const auto n = static_cast<double>(agg.raw.size());
+    table.add_row({util::Table::cell(c.capacity_j, 0), c.label,
+                   util::Table::cell(agg.mdr.mean(), 3),
+                   util::Table::cell(suppressed / n, 0),
+                   util::Table::cell(energy / n, 1),
+                   util::Table::cell(fairness / n, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: smaller batteries trigger economizing (suppressed contacts\n"
+               "grow, MDR and total energy drop) — selfishness emerges without being\n"
+               "scripted.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// Ablation (extension): who should pay — the destination (the thesis'
+/// design) or the source (PI-style, thesis §2.1 survey)? Both schemes run
+/// on the same ChitChat substrate with the same token allowance under a
+/// selfish sweep. The designs fail differently: destination-pays starves
+/// selfish *receivers* (the thesis' stated goal — "barring them from
+/// receiving"), while source-pays taxes *publishers* and lets selfish
+/// receivers free-ride forever.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Ablation: destination-pays vs source-pays (PI-style)", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+
+  util::Table table({"selfish %", "scheme", "MDR", "traffic", "refused: no-tokens",
+                     "token fairness"});
+  for (const double selfish : {0.0, 0.4}) {
+    for (const auto scheme :
+         {scenario::Scheme::kIncentive, scenario::Scheme::kPiIncentive}) {
+      scenario::ScenarioConfig cfg = bench::base_config(scale);
+      cfg.scheme = scheme;
+      cfg.selfish_fraction = selfish;
+      cfg.pi.attachment = cfg.incentive.initial_tokens / 4.0;  // comparable budgets
+      const auto agg = runner.run(cfg);
+      double fairness = 0.0;
+      for (const auto& r : agg.raw) fairness += r.token_fairness;
+      fairness /= static_cast<double>(agg.raw.size());
+      table.add_row({util::Table::cell(selfish * 100.0, 0), scenario::scheme_name(scheme),
+                     util::Table::cell(agg.mdr.mean(), 3),
+                     util::Table::cell(agg.traffic.mean(), 0),
+                     util::Table::cell(agg.refused_no_tokens.mean(), 0),
+                     util::Table::cell(fairness, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: destination-pays throttles traffic via receiver refusals\n"
+               "(no-token count > 0); source-pays never refuses receivers, so its MDR\n"
+               "and traffic track plain ChitChat while sources' budgets drain.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Ablation: the relay pre-payment threshold (Table 5.1's 0.8). A receiving
+/// relay whose mean tag weight exceeds the threshold pre-pays a fraction of
+/// the promise. Lower thresholds move tokens toward upstream carriers more
+/// often; a threshold above 1.0 disables pre-payment entirely.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Ablation: relay pre-payment threshold sweep", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+
+  util::Table table({"threshold", "MDR", "payments", "tokens paid", "traffic"});
+  for (const double threshold : {0.5, 0.7, 0.8, 0.9, 1.01}) {
+    scenario::ScenarioConfig cfg = bench::base_config(scale);
+    cfg.incentive.relay_threshold = threshold;
+    cfg.selfish_fraction = 0.2;
+    cfg.scheme = scenario::Scheme::kIncentive;
+    const auto agg = runner.run(cfg);
+    double payments = 0.0, paid = 0.0;
+    for (const auto& r : agg.raw) {
+      payments += static_cast<double>(r.payments);
+      paid += r.tokens_paid;
+    }
+    payments /= static_cast<double>(agg.raw.size());
+    paid /= static_cast<double>(agg.raw.size());
+    table.add_row({util::Table::cell(threshold, 2), util::Table::cell(agg.mdr.mean(), 3),
+                   util::Table::cell(payments, 1), util::Table::cell(paid, 1),
+                   util::Table::cell(agg.traffic.mean(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: lower thresholds trigger more (pre-)payments; >1.0 disables\n"
+               "pre-payment. Delivery is largely insensitive (it is a token-flow knob).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// Substrate validation: contact dynamics of the Random-Waypoint world at
+/// Table 5.1 density. Sanity-checks that our mobility + connectivity
+/// substrate produces ONE-like contact statistics (contact counts scale with
+/// density; durations sit near the analytic 2R/v expectation), and shows the
+/// selfishness gate cutting encounters.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "scenario/report.h"
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Substrate validation: contact dynamics", scale);
+
+  util::Table table({"mobility", "selfish %", "contacts", "suppressed", "mean dur (s)",
+                     "median dur (s)", "mean inter-contact (s)"});
+  struct Case {
+    scenario::MobilityKind mobility;
+    double selfish;
+  };
+  const Case cases[] = {{scenario::MobilityKind::kRandomWaypoint, 0.0},
+                        {scenario::MobilityKind::kRandomWaypoint, 0.5},
+                        {scenario::MobilityKind::kHotspot, 0.0},
+                        {scenario::MobilityKind::kRandomWalk, 0.0}};
+  for (const Case& c : cases) {
+    scenario::ScenarioConfig cfg = bench::base_config(scale);
+    cfg.mobility = c.mobility;
+    cfg.selfish_fraction = c.selfish;
+    cfg.scheme = scenario::Scheme::kChitChat;
+    cfg.messages_per_node_per_hour = 0.1;  // contacts are the subject here
+    cfg.seed = 1;
+    scenario::Scenario sim(cfg);
+    const auto result = sim.run();
+    const auto summary = scenario::summarize_contacts(sim.contact_trace());
+    table.add_row({scenario::mobility_name(c.mobility),
+                   util::Table::cell(c.selfish * 100.0, 0),
+                   util::Table::cell(summary.contacts),
+                   util::Table::cell(static_cast<std::size_t>(result.contacts_suppressed)),
+                   util::Table::cell(summary.mean_duration_s, 1),
+                   util::Table::cell(summary.median_duration_s, 1),
+                   util::Table::cell(summary.mean_intercontact_s, 1)});
+  }
+  table.print(std::cout);
+
+  // Analytic ballpark: two pedestrians crossing a 100 m radio disc at a
+  // relative speed around v_rel ≈ 1.3 m/s stay connected for roughly
+  // (π/2)·R / v_rel ≈ 120 s on average.
+  std::cout << "\nexpected: mean contact duration of order 10^2 s (2R/v_rel ballpark);\n"
+               "50% selfish suppresses a large share of encounters.\n";
+  return 0;
+}

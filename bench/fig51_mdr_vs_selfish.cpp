@@ -1,0 +1,47 @@
+/// Reproduces Figure 5.1: Message Delivery Ratio vs percentage of selfish
+/// nodes (0..100% in steps of 10), Incentive scheme vs plain ChitChat.
+/// Paper shape: both curves decline as selfishness rises; the incentive
+/// scheme sits slightly below ChitChat (token exhaustion) while cutting
+/// traffic (Fig. 5.2). Selfish radios participate in 1-of-10 encounters, so
+/// MDR does not reach zero even at 100% selfish.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  cli.add_flag("step", "10", "selfish-percent sweep step");
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Figure 5.1: MDR vs % selfish nodes", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+  const int step = static_cast<int>(cli.get_int("step"));
+
+  util::Table table({"selfish %", "MDR incentive", "sd", "MDR chitchat", "sd",
+                     "suppressed contacts"});
+  for (int pct = 0; pct <= 100; pct += step) {
+    scenario::ScenarioConfig cfg = bench::base_config(scale);
+    cfg.selfish_fraction = pct / 100.0;
+
+    cfg.scheme = scenario::Scheme::kIncentive;
+    const auto incentive = runner.run(cfg);
+    cfg.scheme = scenario::Scheme::kChitChat;
+    const auto chitchat = runner.run(cfg);
+
+    double suppressed = 0;
+    for (const auto& r : incentive.raw) suppressed += static_cast<double>(r.contacts_suppressed);
+    suppressed /= static_cast<double>(incentive.raw.size());
+
+    table.add_row({std::to_string(pct), util::Table::cell(incentive.mdr.mean(), 3),
+                   util::Table::cell(incentive.mdr.stddev(), 3),
+                   util::Table::cell(chitchat.mdr.mean(), 3),
+                   util::Table::cell(chitchat.mdr.stddev(), 3),
+                   util::Table::cell(suppressed, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: both MDR curves decline with selfish %; incentive <= "
+               "chitchat by a small margin.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Reproduces Figure 5.3 (Initial Tokens' Variance): MDR as a function of
+/// the initial token allowance, for several selfish-node percentages.
+/// Paper shape: MDR rises with the initial allowance (tokens exhaust more
+/// slowly) and falls with the selfish percentage; traffic reduction shrinks
+/// as the allowance grows (the Section 3 conclusion's trade-off).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Figure 5.3: MDR vs initial tokens", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::ScenarioConfig base = bench::base_config(scale);
+  // Sweep around the scale-adjusted baseline allowance (the paper sweeps
+  // absolute token counts at 24 h / 500 nodes).
+  const double multipliers[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const double selfish_levels[] = {0.0, 0.2, 0.4};
+
+  util::Table table({"initial tokens", "MDR (0% selfish)", "MDR (20% selfish)",
+                     "MDR (40% selfish)", "traffic reduced % (20% selfish)"});
+  for (const double mult : multipliers) {
+    const double tokens = base.incentive.initial_tokens * mult;
+    std::vector<std::string> row{util::Table::cell(tokens, 1)};
+    double reduced_at_20 = 0.0;
+    for (const double selfish : selfish_levels) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.selfish_fraction = selfish;
+      cfg.incentive.initial_tokens = tokens;
+      cfg.scheme = scenario::Scheme::kIncentive;
+      const auto incentive = runner.run(cfg);
+      row.push_back(util::Table::cell(incentive.mdr.mean(), 3));
+      if (selfish == 0.2) {
+        cfg.scheme = scenario::Scheme::kChitChat;
+        const auto chitchat = runner.run(cfg);
+        const double t_cc = chitchat.traffic.mean();
+        reduced_at_20 = t_cc > 0 ? (t_cc - incentive.traffic.mean()) / t_cc * 100.0 : 0.0;
+      }
+    }
+    row.push_back(util::Table::cell(reduced_at_20, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: MDR grows with the token allowance and shrinks with\n"
+               "selfishness; the traffic saving fades as tokens stop binding.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// Reproduces Figure 5.6 (Priority-Segmented MDR): with 50% of sources
+/// generating high-priority/high-quality/larger messages, 30% medium and
+/// 20% low, compare the per-priority delivery of the incentive scheme
+/// against ChitChat at 20% and 40% selfish nodes. Paper shape: the
+/// incentive scheme delivers MORE high-priority messages than ChitChat in
+/// both settings, because its forwarding order and rewards favour priority
+/// and quality.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
+  bench::print_header("Figure 5.6: priority-segmented MDR", scale);
+
+  const scenario::ExperimentRunner runner(scale.seeds);
+
+  util::Table table({"selfish %", "scheme", "MDR high", "MDR medium", "MDR low",
+                     "high delivered"});
+  for (const double selfish : {0.2, 0.4}) {
+    for (const auto scheme : {scenario::Scheme::kIncentive, scenario::Scheme::kChitChat}) {
+      scenario::ScenarioConfig cfg = bench::base_config(scale);
+      cfg.priority_workload = true;
+      cfg.selfish_fraction = selfish;
+      cfg.scheme = scheme;
+      // Priority handling shows when first delivery is not trivial: scarcer
+      // interest overlap forces real multi-hop routing, and enrichment (the
+      // incentive scheme's reach-widener) has latent facts to add. Tokens
+      // stay at the Table 5.1 allowance — Fig. 5.6 is not a token-scarcity
+      // experiment (that is Fig. 5.3).
+      cfg.messages_per_node_per_hour = 1.0;
+      cfg.incentive.initial_tokens = 200.0;
+      cfg.interests_per_node = 5;
+      cfg.keywords_per_message = 2;
+      cfg.latent_extra_keywords = 3;
+      cfg.enrich_probability = 0.5;
+      cfg.honest_max_tags = 3;
+      const auto agg = runner.run(cfg);
+      double delivered_high = 0;
+      for (const auto& r : agg.raw) delivered_high += static_cast<double>(r.delivered_high);
+      delivered_high /= static_cast<double>(agg.raw.size());
+      table.add_row({util::Table::cell(selfish * 100.0, 0), scenario::scheme_name(scheme),
+                     util::Table::cell(agg.mdr_high.mean(), 3),
+                     util::Table::cell(agg.mdr_medium.mean(), 3),
+                     util::Table::cell(agg.mdr_low.mean(), 3),
+                     util::Table::cell(delivered_high, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: at each selfish level the incentive scheme's high-priority\n"
+               "MDR meets or beats chitchat's, and within the incentive scheme\n"
+               "high >= medium >= low.\n";
+  return 0;
+}

@@ -1,0 +1,179 @@
+/// Google-benchmark microbenchmarks of the simulation kernel hot paths:
+/// event queue churn, spatial-grid contact scans, ChitChat weight updates,
+/// and the incentive/DRM formulas. These bound the cost of a paper-scale
+/// run (500 nodes x 24 h) and guard against regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/incentive.h"
+#include "core/reputation.h"
+#include "mobility/random_waypoint.h"
+#include "msg/buffer.h"
+#include "net/spatial_grid.h"
+#include "routing/chitchat/interest_table.h"
+#include "scenario/scenario.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dtnic;
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      (void)q.push(util::SimTime::seconds(rng.uniform(0.0, 1000.0)), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SpatialGridScan(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  const double side = std::sqrt(nodes / 100.0) * 1000.0;  // 100 nodes per km²
+  std::vector<util::Vec2> pos(nodes);
+  for (auto& p : pos) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+  net::SpatialGrid grid(100.0);
+  for (auto _ : state) {
+    grid.clear();
+    for (int i = 0; i < nodes; ++i) {
+      grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)), pos[i]);
+    }
+    benchmark::DoNotOptimize(grid.pairs_within(100.0));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_SpatialGridScan)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_RandomWaypointStep(benchmark::State& state) {
+  mobility::RandomWaypointParams params;
+  params.area = {2236.0, 2236.0};
+  mobility::RandomWaypoint model(params, util::Rng(4));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 5.0;
+    benchmark::DoNotOptimize(model.position_at(util::SimTime::seconds(t)));
+  }
+}
+BENCHMARK(BM_RandomWaypointStep);
+
+void BM_InterestTableExchange(benchmark::State& state) {
+  const int keywords = static_cast<int>(state.range(0));
+  routing::chitchat::ChitChatParams params;
+  routing::chitchat::InterestTable a(params);
+  routing::chitchat::InterestTable b(params);
+  for (int k = 0; k < keywords; ++k) {
+    if (k % 2 == 0) a.add_direct(msg::KeywordId(k), util::SimTime::zero());
+    else b.add_direct(msg::KeywordId(k), util::SimTime::zero());
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 5.0;
+    const auto now = util::SimTime::seconds(t);
+    a.decay(now, nullptr);
+    b.decay(now, nullptr);
+    a.grow_from(b, now, 5.0);
+    b.grow_from(a, now, 5.0);
+    benchmark::DoNotOptimize(a.size());
+  }
+}
+BENCHMARK(BM_InterestTableExchange)->Arg(20)->Arg(200);
+
+void BM_SoftwareIncentive(benchmark::State& state) {
+  core::IncentiveParams params;
+  util::Rng rng(5);
+  core::SoftwareFactors f;
+  f.max_sum_weights = 3.0;
+  f.max_size_bytes = 2 << 20;
+  for (auto _ : state) {
+    f.sum_weights_v = rng.uniform(0.0, 3.0);
+    f.size_bytes = 1 + rng.below(2 << 20);
+    f.quality = rng.uniform(0.0, 1.0);
+    benchmark::DoNotOptimize(core::software_incentive(params, f));
+  }
+}
+BENCHMARK(BM_SoftwareIncentive);
+
+void BM_RatingStoreMerge(benchmark::State& state) {
+  core::DrmParams drm;
+  core::RatingStore store(drm);
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    store.add_message_rating(util::NodeId(i), rng.uniform(0.0, 5.0));
+  }
+  for (auto _ : state) {
+    const auto node = util::NodeId(static_cast<util::NodeId::underlying>(rng.below(200)));
+    store.merge_remote(node, rng.uniform(0.0, 5.0));
+    benchmark::DoNotOptimize(store.rating_of(node));
+  }
+}
+BENCHMARK(BM_RatingStoreMerge);
+
+void BM_RatingStoreSnapshot(benchmark::State& state) {
+  core::DrmParams drm;
+  core::RatingStore store(drm);
+  util::Rng rng(7);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    store.add_message_rating(util::NodeId(i), rng.uniform(0.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.snapshot());
+  }
+}
+BENCHMARK(BM_RatingStoreSnapshot)->Arg(50)->Arg(500);
+
+void BM_MessageBufferChurn(benchmark::State& state) {
+  const auto policy = state.range(0) == 0 ? msg::DropPolicy::kFifoOldest
+                                          : msg::DropPolicy::kLowPriorityFirst;
+  util::Rng rng(8);
+  constexpr std::uint64_t kMB = 1024 * 1024;
+  util::MessageId::underlying next = 0;
+  msg::MessageBuffer buf(64 * kMB, policy);
+  for (auto _ : state) {
+    msg::Message m(util::MessageId(next++), util::NodeId(0), util::SimTime::zero(),
+                   kMB / 2 + rng.below(kMB), static_cast<msg::Priority>(rng.range(1, 3)),
+                   rng.uniform(0.0, 1.0));
+    benchmark::DoNotOptimize(buf.would_admit(m));
+    benchmark::DoNotOptimize(buf.add(std::move(m)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageBufferChurn)->Arg(0)->Arg(1);
+
+void BM_ScenarioMinute(benchmark::State& state) {
+  // End-to-end cost of one simulated minute of a 40-node incentive world
+  // (builds once; repeatedly extends the horizon).
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(40, 1.0);
+  cfg.messages_per_node_per_hour = 1.0;
+  cfg.seed = 3;
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenario::Scenario sim(cfg);
+    state.ResumeTiming();
+    (void)sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.sim_hours * 60));
+  state.SetLabel("simulated-minutes/iter=60");
+}
+BENCHMARK(BM_ScenarioMinute)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/// Battlefield deployment (the paper's running example for roles): a
+/// sergeant (rank 1) forwards a high-priority order to a soldier (rank 2)
+/// who currently has no interest strength for it — Algorithm 3's special
+/// case promises the maximum incentive so the order still propagates. Then
+/// a priority workload shows high-priority traffic winning under selfish
+/// load, as in Fig. 5.6.
+
+#include <iostream>
+
+#include "example_util.h"
+#include "scenario/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dtnic;
+  using util::SimTime;
+
+  // --- Part 1: the rank special case, hand-driven ---------------------------
+  examples::PocketNetwork net;
+  auto& sergeant = net.add_device("sergeant");
+  auto& soldier = net.add_device("soldier");
+  sergeant.host().set_rank(1);
+  soldier.host().set_rank(2);
+
+  const auto& order = sergeant.annotate({"advance", "grid-e5"}, SimTime::zero(),
+                                        512 * 1024, msg::Priority::kHigh, 0.95);
+  const auto& memo = sergeant.annotate({"laundry-rota"}, SimTime::zero(), 512 * 1024,
+                                       msg::Priority::kLow, 0.4);
+
+  std::cout << "== Rank-aware promises (Algorithm 3 special case) ==\n";
+  std::cout << "high-priority order -> soldier with no matching interests: promise = "
+            << util::Table::cell(sergeant.compute_incentive(order, soldier.host()), 2)
+            << " tokens (the maximum I_m = "
+            << util::Table::cell(net.world.incentive.max_incentive, 2) << ")\n";
+  std::cout << "low-priority memo  -> same soldier:                      promise = "
+            << util::Table::cell(sergeant.compute_incentive(memo, soldier.host()), 2)
+            << " tokens\n\n";
+
+  // --- Part 2: priority-segmented delivery under selfish load ----------------
+  std::cout << "== Company-scale run: 50% high / 30% medium / 20% low sources, 30% selfish ==\n";
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(80, 3.0);
+  cfg.scheme = scenario::Scheme::kIncentive;
+  cfg.priority_workload = true;
+  cfg.selfish_fraction = 0.3;
+  cfg.officer_fraction = 0.1;
+  cfg.messages_per_node_per_hour = 0.8;
+  cfg.incentive.initial_tokens = 10.0;  // volume-scaled allowance
+  cfg.seed = 7;
+
+  const auto incentive = scenario::ExperimentRunner::run_once(cfg);
+  cfg.scheme = scenario::Scheme::kChitChat;
+  const auto chitchat = scenario::ExperimentRunner::run_once(cfg);
+
+  util::Table table({"priority", "created", "incentive MDR", "chitchat MDR"});
+  table.add_row({"high", util::Table::cell(incentive.created_high),
+                 util::Table::cell(incentive.mdr_high, 3),
+                 util::Table::cell(chitchat.mdr_high, 3)});
+  table.add_row({"medium", util::Table::cell(incentive.created_medium),
+                 util::Table::cell(incentive.mdr_medium, 3),
+                 util::Table::cell(chitchat.mdr_medium, 3)});
+  table.add_row({"low", util::Table::cell(incentive.created_low),
+                 util::Table::cell(incentive.mdr_low, 3),
+                 util::Table::cell(chitchat.mdr_low, 3)});
+  table.print(std::cout);
+  std::cout << "\nexpected: the incentive scheme concentrates its (token-limited) delivery\n"
+               "capacity on high-priority traffic (Fig. 5.6's story).\n";
+  return 0;
+}

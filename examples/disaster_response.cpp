@@ -1,0 +1,80 @@
+/// Disaster-response scenario (the thesis' motivating deployment): field
+/// teams photograph damage; annotations get richer as copies pass through
+/// relays with local knowledge ("content enrichment"), so a message
+/// eventually reaches responders whose interests the source never knew.
+///
+/// Runs the full event-driven simulation twice — enrichment on and off —
+/// and shows the situational-awareness gain, then walks one enriched
+/// message's journey.
+
+#include <iostream>
+
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dtnic;
+
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(70, 3.0);
+  cfg.scheme = scenario::Scheme::kIncentive;
+  cfg.messages_per_node_per_hour = 0.8;
+  cfg.enrich_probability = 0.6;  // field teams annotate eagerly
+  cfg.keywords_per_message = 4;  // photos carry several latent facts
+  cfg.seed = 2026;
+
+  std::cout << "Disaster response: " << cfg.num_nodes << " responders, "
+            << cfg.sim_hours << " h, "
+            << util::Table::cell(cfg.area_side_m * cfg.area_side_m / 1e6, 2)
+            << " km² operations area\n\n";
+
+  cfg.enrichment_enabled = true;
+  const auto with = scenario::ExperimentRunner::run_once(cfg);
+  cfg.enrichment_enabled = false;
+  const auto without = scenario::ExperimentRunner::run_once(cfg);
+
+  util::Table table({"metric", "enrichment ON", "enrichment OFF"});
+  table.add_row({"messages created", util::Table::cell(with.created),
+                 util::Table::cell(without.created)});
+  table.add_row({"delivered to >=1 responder", util::Table::cell(with.delivered),
+                 util::Table::cell(without.delivered)});
+  table.add_row({"total (message, responder) deliveries",
+                 util::Table::cell(static_cast<std::size_t>(with.deliveries_total)),
+                 util::Table::cell(static_cast<std::size_t>(without.deliveries_total))});
+  table.add_row({"mean delivery latency (min)",
+                 util::Table::cell(with.mean_latency_s / 60.0, 1),
+                 util::Table::cell(without.mean_latency_s / 60.0, 1)});
+  table.add_row({"tokens paid (incl. tag rewards)", util::Table::cell(with.tokens_paid, 1),
+                 util::Table::cell(without.tokens_paid, 1)});
+  table.print(std::cout);
+
+  // Walk one enriched message through the network.
+  cfg.enrichment_enabled = true;
+  scenario::Scenario sim(cfg);
+  (void)sim.run();
+  for (std::size_t i = 0; i < sim.node_count(); ++i) {
+    const auto id = util::NodeId(static_cast<util::NodeId::underlying>(i));
+    for (const msg::Message* m : sim.host(id).buffer().messages()) {
+      // Find a copy that travelled and gained annotations en route.
+      bool enriched = false;
+      for (const auto& a : m->annotations()) enriched |= a.annotator != m->source();
+      if (!enriched || m->relay_hop_count() < 2) continue;
+      std::cout << "\nexample journey of message " << m->id() << " (priority "
+                << msg::priority_name(m->priority()) << "):\n  path: ";
+      for (const auto& hop : m->path()) {
+        std::cout << "node" << hop.node << " (t=" << util::Table::cell(
+            hop.received_at.sec() / 60.0, 0) << "m) -> ";
+      }
+      std::cout << "[carried]\n  annotations:\n";
+      for (const auto& a : m->annotations()) {
+        std::cout << "    '" << sim.keywords().name(a.keyword) << "' by node" << a.annotator
+                  << (a.annotator == m->source() ? " (source)" : " (enrichment)") << "\n";
+      }
+      std::cout << "\nexpected: enrichment widens reach (more (message, responder)\n"
+                   "deliveries) at the cost of extra tag-reward token flow.\n";
+      return 0;
+    }
+  }
+  std::cout << "\n(no multi-hop enriched copy found this run; rerun with another seed)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// Reputation gossip (the DRM in isolation): a malicious node plants bogus
+/// keywords on relayed photos to farm tag rewards. The first honest victim
+/// rates it down after inspecting the content; the opinion then spreads
+/// second-hand at every contact (r <- (1-α)·r_remote + α·r_own), until a
+/// node that never met the attacker refuses its transfers outright.
+
+#include <iostream>
+
+#include "example_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dtnic;
+  using util::SimTime;
+
+  core::DrmParams drm;
+  drm.rating_noise_sd = 0.0;
+
+  examples::PocketNetwork net({}, drm);
+
+  core::BehaviorProfile attacker_profile;
+  attacker_profile.type = core::BehaviorType::kMalicious;
+  attacker_profile.malicious_tags = 3;
+
+  auto& alice = net.add_device("alice");
+  auto& mallory = net.add_device("mallory", attacker_profile);
+  auto& bob = net.add_device("bob");
+  auto& carol = net.add_device("carol");
+
+  // Everyone likes wildlife photos; mallory relays them (and pollutes them).
+  for (auto* op : {&bob, &carol}) op->subscribe({"wildlife"}, SimTime::zero());
+  mallory.subscribe({"trail"}, SimTime::zero());
+
+  const auto& photo = alice.annotate({"wildlife", "deer"}, SimTime::zero(), 256 * 1024,
+                                     msg::Priority::kMedium, 0.9);
+  std::cout << "alice publishes photo " << photo.id() << " tagged {wildlife, deer}\n\n";
+
+  // alice -> mallory (relay hop): mallory plants 3 irrelevant tags.
+  std::cout << "== alice meets mallory (relay hand-off) ==\n";
+  const routing::ForwardPlan relay{photo.id(), routing::TransferRole::kRelay, 1.0, 0.0};
+  msg::Message copy = photo;
+  copy.record_hop(mallory.host().id(), SimTime::minutes(5));
+  mallory.host().router().on_received(mallory.host(), alice.host(), std::move(copy), relay,
+                                      SimTime::minutes(5));
+  const msg::Message* polluted = mallory.host().buffer().find(photo.id());
+  std::cout << "mallory's copy now carries " << polluted->annotations().size()
+            << " tags; the planted ones: ";
+  for (const auto& a : polluted->annotations_by(mallory.host().id())) {
+    std::cout << "'" << net.keywords.name(a.keyword) << "' ";
+  }
+  std::cout << "\n\n";
+
+  // mallory -> bob (delivery): bob pays, inspects, rates mallory down.
+  std::cout << "== mallory delivers to bob ==\n";
+  const routing::ForwardPlan deliver{photo.id(), routing::TransferRole::kDestination, 2.0,
+                                     0.0};
+  msg::Message to_bob = *polluted;
+  to_bob.record_hop(bob.host().id(), SimTime::minutes(20));
+  bob.host().router().on_received(bob.host(), mallory.host(), std::move(to_bob), deliver,
+                                  SimTime::minutes(20));
+  std::cout << "bob's rating of mallory after judging the planted tags: "
+            << util::Table::cell(bob.rate_node(mallory.host().id()), 2) << " / 5\n";
+  std::cout << "carol's rating of mallory (never met): "
+            << util::Table::cell(carol.rate_node(mallory.host().id()), 2)
+            << " / 5 (the neutral prior)\n\n";
+
+  // bob gossips with carol: the opinion spreads second-hand.
+  std::cout << "== bob meets carol (reputation exchange) ==\n";
+  (void)net.contact(bob, carol, SimTime::hours(1));
+  std::cout << "carol's rating of mallory after gossip: "
+            << util::Table::cell(carol.rate_node(mallory.host().id()), 2) << " / 5\n\n";
+
+  // mallory now tries to send carol a fresh (legitimate!) photo: refused.
+  std::cout << "== mallory tries to deliver to carol ==\n";
+  const auto& fresh = mallory.annotate({"wildlife", "fox"}, SimTime::hours(2), 256 * 1024,
+                                       msg::Priority::kMedium, 0.9);
+  const routing::ForwardPlan offer{fresh.id(), routing::TransferRole::kDestination, 2.0, 0.0};
+  const auto decision = carol.host().router().accept(carol.host(), mallory.host(), fresh,
+                                                     offer, SimTime::hours(2));
+  std::cout << "carol's admission decision: " << routing::accept_name(decision) << "\n";
+  std::cout << "\nthe DRM quarantined the attacker network-wide after a single first-hand\n"
+               "observation plus one gossip exchange.\n";
+  return 0;
+}

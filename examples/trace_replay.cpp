@@ -1,0 +1,62 @@
+/// Trace-driven experimentation: record the contact trace of one mobility
+/// run, then replay it under DIFFERENT routing schemes. Replay holds the
+/// contact process fixed, so scheme comparisons are paired (no mobility
+/// noise between arms) — the workflow used with real-world traces
+/// (Haggle, MIT Reality, ...), demonstrated here end to end.
+
+#include <fstream>
+#include <iostream>
+
+#include "net/scripted_contacts.h"
+#include "scenario/experiment.h"
+#include "scenario/report.h"
+#include "scenario/scenario.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace dtnic;
+  util::Cli cli;
+  cli.add_flag("nodes", "60", "participants");
+  cli.add_flag("hours", "2", "simulated hours");
+  cli.add_flag("trace", "/tmp/dtnic_contacts.trace", "where to write the recorded trace");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  // --- 1. record ------------------------------------------------------------
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(
+      static_cast<std::size_t>(cli.get_int("nodes")), cli.get_double("hours"));
+  cfg.seed = 99;
+  cfg.scheme = scenario::Scheme::kChitChat;
+  std::cout << "recording contact trace from a " << cfg.num_nodes
+            << "-node Random-Waypoint run...\n";
+  scenario::Scenario recorder(cfg);
+  (void)recorder.run();
+  const auto summary = scenario::summarize_contacts(recorder.contact_trace());
+  scenario::write_contact_summary(std::cout, summary);
+
+  const std::string path = cli.get("trace");
+  {
+    std::ofstream out(path);
+    net::ScriptedConnectivity::serialize(
+        out, net::ScriptedConnectivity::from_trace(recorder.contact_trace()));
+  }
+  std::cout << "\ntrace written to " << path << "\n\n";
+
+  // --- 2. replay under every scheme -----------------------------------------
+  std::cout << "replaying the SAME contacts under each routing scheme:\n\n";
+  std::vector<scenario::RunResult> results;
+  for (const auto scheme :
+       {scenario::Scheme::kIncentive, scenario::Scheme::kChitChat,
+        scenario::Scheme::kEpidemic, scenario::Scheme::kProphet,
+        scenario::Scheme::kSprayAndWait, scenario::Scheme::kDirectDelivery}) {
+    scenario::ScenarioConfig replay_cfg = cfg;
+    replay_cfg.scheme = scheme;
+    replay_cfg.contact_trace_file = path;
+    results.push_back(scenario::ExperimentRunner::run_once(replay_cfg));
+  }
+  scenario::comparison_table(results).print(std::cout);
+  std::cout << "\npaired comparison: every scheme saw the identical contact sequence.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file behavior.h
+/// Node behavior profiles for the paper's evaluation (§5):
+///  * cooperative — relays faithfully, enriches honestly with some probability
+///  * selfish     — keeps the radio open for only 1 of 10 encounters
+///  * malicious   — tags relayed messages with irrelevant keywords to farm
+///                  incentive tokens (the DRM's adversary)
+
+namespace dtnic::core {
+
+enum class BehaviorType {
+  kCooperative,
+  kSelfish,
+  kMalicious,
+  /// Cooperates while charged; below a battery threshold it economizes like
+  /// a selfish node (the paper's stated *reason* for selfishness — "limited
+  /// battery power" — modeled endogenously).
+  kBatteryConscious,
+};
+
+[[nodiscard]] constexpr const char* behavior_name(BehaviorType t) {
+  switch (t) {
+    case BehaviorType::kCooperative: return "cooperative";
+    case BehaviorType::kSelfish: return "selfish";
+    case BehaviorType::kMalicious: return "malicious";
+    case BehaviorType::kBatteryConscious: return "battery-conscious";
+  }
+  return "?";
+}
+
+struct BehaviorProfile {
+  BehaviorType type = BehaviorType::kCooperative;
+
+  /// Probability a selfish node's radio participates in a fresh encounter
+  /// (paper §5.A: "open one out of ten times").
+  double selfish_participation = 0.1;
+
+  /// Probability a cooperative relay enriches an in-transit message.
+  double enrich_probability = 0.3;
+  /// Max truthful tags an honest enrichment adds.
+  int honest_max_tags = 2;
+
+  /// Irrelevant tags a malicious relay plants per relayed message.
+  int malicious_tags = 3;
+
+  /// Battery-conscious nodes: full cooperation above this battery level,
+  /// `battery_participation` gating below it.
+  double battery_threshold = 0.3;
+  double battery_participation = 0.2;
+
+  [[nodiscard]] bool selfish() const { return type == BehaviorType::kSelfish; }
+  [[nodiscard]] bool malicious() const { return type == BehaviorType::kMalicious; }
+  [[nodiscard]] bool battery_conscious() const {
+    return type == BehaviorType::kBatteryConscious;
+  }
+};
+
+}  // namespace dtnic::core

@@ -1,0 +1,50 @@
+#include "core/enrichment.h"
+
+#include <algorithm>
+
+namespace dtnic::core {
+
+int Enricher::enrich_honest(msg::Message& m, util::NodeId annotator, int max_tags,
+                            util::Rng& rng) const {
+  // Candidate tags: latent true keywords the message is not yet tagged with.
+  std::vector<msg::KeywordId> candidates;
+  for (msg::KeywordId k : m.true_keywords()) {
+    if (!m.has_keyword(k)) candidates.push_back(k);
+  }
+  if (candidates.empty() || max_tags <= 0) return 0;
+  rng.shuffle(candidates);
+  const int n = std::min<int>(max_tags, static_cast<int>(candidates.size()));
+  int added = 0;
+  for (int i = 0; i < n; ++i) {
+    if (m.annotate(msg::Annotation{candidates[i], annotator, /*truthful=*/true})) ++added;
+  }
+  return added;
+}
+
+int Enricher::enrich_malicious(msg::Message& m, util::NodeId annotator, int tags,
+                               util::Rng& rng) const {
+  if (pool_ == nullptr || pool_->empty() || tags <= 0) return 0;
+  int added = 0;
+  // Rejection-sample irrelevant keywords from the pool; bounded attempts so
+  // a pathological pool (everything truthful) cannot loop forever.
+  int attempts = tags * 8;
+  while (added < tags && attempts-- > 0) {
+    const msg::KeywordId k = (*pool_)[rng.index(pool_->size())];
+    if (m.keyword_is_truthful(k) || m.has_keyword(k)) continue;
+    if (m.annotate(msg::Annotation{k, annotator, /*truthful=*/false})) ++added;
+  }
+  return added;
+}
+
+int Enricher::enrich(msg::Message& m, util::NodeId annotator, const BehaviorProfile& profile,
+                     util::Rng& rng) const {
+  if (profile.malicious()) {
+    return enrich_malicious(m, annotator, profile.malicious_tags, rng);
+  }
+  if (profile.enrich_probability > 0.0 && rng.chance(profile.enrich_probability)) {
+    return enrich_honest(m, annotator, profile.honest_max_tags, rng);
+  }
+  return 0;
+}
+
+}  // namespace dtnic::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/behavior.h"
+#include "msg/message.h"
+#include "util/rng.h"
+
+/// \file enrichment.h
+/// Content enrichment (§1.3.2): relays may add keyword annotations to
+/// in-transit messages. Honest relays draw from the message's latent true
+/// keyword set (they "know more about the content"); malicious relays plant
+/// keywords from the global pool that do NOT describe the content, hoping to
+/// match more destinations and farm tag rewards.
+
+namespace dtnic::core {
+
+class Enricher {
+ public:
+  /// \p keyword_pool is the scenario's full keyword universe (Table 5.1:
+  /// 200 keywords); malicious tags are drawn from it.
+  explicit Enricher(const std::vector<msg::KeywordId>* keyword_pool)
+      : pool_(keyword_pool) {}
+
+  /// Honest enrichment: add up to \p max_tags truthful tags the message does
+  /// not carry yet. Returns the number of tags added.
+  int enrich_honest(msg::Message& m, util::NodeId annotator, int max_tags,
+                    util::Rng& rng) const;
+
+  /// Malicious enrichment: add up to \p tags irrelevant keywords (not in the
+  /// message's true set). Returns the number of tags added.
+  int enrich_malicious(msg::Message& m, util::NodeId annotator, int tags,
+                       util::Rng& rng) const;
+
+  /// Apply the enrichment behavior of \p profile to a relayed message.
+  int enrich(msg::Message& m, util::NodeId annotator, const BehaviorProfile& profile,
+             util::Rng& rng) const;
+
+ private:
+  const std::vector<msg::KeywordId>* pool_;
+};
+
+}  // namespace dtnic::core

@@ -1,0 +1,64 @@
+#include "core/incentive.h"
+
+#include <algorithm>
+
+#include "net/energy.h"
+#include "util/assert.h"
+
+namespace dtnic::core {
+
+double software_incentive(const IncentiveParams& params, const SoftwareFactors& f) {
+  DTNIC_REQUIRE(f.rank_u >= 1 && f.rank_v >= 1);
+  DTNIC_REQUIRE(f.max_size_bytes > 0);
+  DTNIC_REQUIRE(f.max_quality > 0.0);
+  DTNIC_REQUIRE(f.sum_weights_v >= 0.0 && f.max_sum_weights >= 0.0);
+
+  const bool v_cannot_deliver_now = f.sum_weights_v <= 0.0;
+  // First branch of Algorithm 3: v currently has no interest strength for
+  // the message (P_v = 0), the sender sits higher in the role hierarchy
+  // (R_u < R_v, e.g. sergeant -> soldier), and the message is high priority.
+  if (v_cannot_deliver_now) {
+    if (f.rank_u < f.rank_v && f.priority == msg::Priority::kHigh) {
+      return params.max_incentive;
+    }
+    return 0.0;
+  }
+
+  const double p_v = f.max_sum_weights > 0.0
+                         ? std::min(1.0, f.sum_weights_v / f.max_sum_weights)
+                         : 1.0;
+  const double size_term = static_cast<double>(f.size_bytes) /
+                           static_cast<double>(f.max_size_bytes);
+  const double quality_term = f.quality / f.max_quality;
+  const double priority_divisor = static_cast<double>(f.rank_u) *
+                                  static_cast<double>(msg::priority_level(f.priority));
+  const double i_s = (0.25 * (std::min(1.0, size_term) + std::min(1.0, quality_term)) +
+                      0.5 * (p_v / priority_divisor)) *
+                     params.max_incentive;
+  return std::clamp(i_s, 0.0, params.max_incentive);
+}
+
+double hardware_incentive(const IncentiveParams& params, const net::RadioParams& radio,
+                          bool sender_is_source, double distance_m, util::SimTime duration) {
+  DTNIC_REQUIRE(duration >= util::SimTime::zero());
+  double power = radio.tx_power_w;
+  if (!sender_is_source) {
+    // A relay is compensated for having received the copy as well (P_r from
+    // the Friis model at the contact distance).
+    power += net::FriisModel::received_power(radio.tx_power_w, distance_m, radio.wavelength_m);
+  }
+  return params.hardware_c * power * duration.sec();
+}
+
+double total_promise(const IncentiveParams& params, double software, double hardware) {
+  DTNIC_REQUIRE(software >= 0.0 && hardware >= 0.0);
+  return std::min(software + hardware, params.max_incentive);
+}
+
+double tag_reward(const IncentiveParams& params, int relevant_tags) {
+  DTNIC_REQUIRE(relevant_tags >= 0);
+  const double per_tag = params.tag_reward_z * params.max_incentive;
+  return std::min(per_tag * static_cast<double>(relevant_tags), params.tag_reward_cap);
+}
+
+}  // namespace dtnic::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "msg/message.h"
+#include "net/radio.h"
+#include "util/sim_time.h"
+
+/// \file incentive.h
+/// The credit side of the incentive mechanism (§3.2): pure functions that
+/// compute the software-factor promise (Algorithm 3), the hardware-factor
+/// promise (Friis), the total promise, and the enrichment tag reward. The
+/// IncentiveRouter wires them into the contact protocol.
+
+namespace dtnic::core {
+
+struct IncentiveParams {
+  /// Tokens every node starts with (Table 5.1: 200).
+  double initial_tokens = 200.0;
+  /// I_m: the maximum incentive for one message, in tokens.
+  double max_incentive = 10.0;
+  /// Mean tag weight above which a receiving relay pre-pays the sender a
+  /// fraction of the promise (Table 5.1: threshold for relay = 0.8).
+  double relay_threshold = 0.8;
+  /// Fraction of the promise pre-paid in that case.
+  double relay_prepay_fraction = 0.25;
+  /// z in I_tk = z·I_m: reward per relevant enrichment tag.
+  double tag_reward_z = 0.1;
+  /// I_c: cap on the total enrichment reward per message, in tokens.
+  double tag_reward_cap = 2.0;
+  /// c in I_h = c·(P_t [+ P_r])·t.
+  double hardware_c = 1.0;
+};
+
+/// Inputs for the software-factor formula, gathered by the sender u about
+/// the candidate receiver v (Algorithm 3 and Table 3.1).
+struct SoftwareFactors {
+  /// Σw: sum of v's interest weights over the message keywords, as learned
+  /// from v's exchanged TSR.
+  double sum_weights_v = 0.0;
+  /// w_m: the maximum such sum among all devices currently connected to u.
+  double max_sum_weights = 0.0;
+  int rank_u = 1;  ///< R_u: sender's role (1 = top of hierarchy)
+  int rank_v = 1;  ///< R_v: receiver's role
+  msg::Priority priority = msg::Priority::kMedium;  ///< P_s, set by the source
+  std::uint64_t size_bytes = 0;        ///< S
+  std::uint64_t max_size_bytes = 1;    ///< S_m among u's carried messages
+  double quality = 1.0;                ///< Q
+  double max_quality = 1.0;            ///< Q_m among u's carried messages
+};
+
+/// I_s of Algorithm 3, clamped to [0, I_m].
+///
+/// Special case (first branch): when v cannot deliver now (P_v = 0), the
+/// sender u sits higher in the role hierarchy (R_u < R_v), and the message
+/// is high priority, the maximum incentive is promised. Otherwise
+///   I_s = (¼·(S/S_m + Q/Q_m) + ½·(P_v/(R_u·P_s))) · I_m
+/// with P_v = Σw / w_m (the thesis' `P_u` is read as P_s; DESIGN.md §5.1).
+[[nodiscard]] double software_incentive(const IncentiveParams& params,
+                                        const SoftwareFactors& f);
+
+/// I_h of §3.2: c·P_t·t when the sender originated the message, and
+/// c·(P_t + P_r)·t for a relay, P_r from the Friis model at the contact
+/// distance. \p duration is the (simulated) transfer time.
+[[nodiscard]] double hardware_incentive(const IncentiveParams& params,
+                                        const net::RadioParams& radio, bool sender_is_source,
+                                        double distance_m, util::SimTime duration);
+
+/// Total promise I = min(I_s + I_h, I_m).
+[[nodiscard]] double total_promise(const IncentiveParams& params, double software,
+                                   double hardware);
+
+/// Enrichment reward I_t = min(Σ z·I_m, I_c) for \p relevant_tags relevant
+/// added tags.
+[[nodiscard]] double tag_reward(const IncentiveParams& params, int relevant_tags);
+
+}  // namespace dtnic::core

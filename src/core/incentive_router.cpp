@@ -1,0 +1,223 @@
+#include "core/incentive_router.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::core {
+
+using routing::AcceptDecision;
+using routing::ForwardPlan;
+using routing::Host;
+using routing::TransferRole;
+
+IncentiveRouter::IncentiveRouter(const routing::DestinationOracle& oracle,
+                                 const routing::chitchat::ChitChatParams& chitchat,
+                                 util::SimTime contact_quantum, const IncentiveWorld* world,
+                                 BehaviorProfile profile, util::Rng rng)
+    : ChitChatRouter(oracle, chitchat, contact_quantum),
+      world_(world),
+      profile_(profile),
+      rng_(rng),
+      ledger_(world != nullptr ? world->incentive.initial_tokens : 0.0),
+      ratings_(world != nullptr ? world->drm : DrmParams{}),
+      enricher_(world != nullptr ? world->keyword_pool : nullptr) {
+  DTNIC_REQUIRE_MSG(world != nullptr, "IncentiveRouter needs a shared IncentiveWorld");
+}
+
+IncentiveRouter* IncentiveRouter::of(Host& host) {
+  if (!host.has_router()) return nullptr;
+  return dynamic_cast<IncentiveRouter*>(&host.router());
+}
+
+double IncentiveRouter::strength_at(Host& host, const msg::Message& m) {
+  const ChitChatRouter* router = ChitChatRouter::of(host);
+  return router != nullptr ? router->message_strength(m) : 0.0;
+}
+
+void IncentiveRouter::on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) {
+  ChitChatRouter::on_link_up(self, peer, now, distance_m);
+  contact_distance_[peer.id()] = distance_m;
+  // Reputation exchange: absorb the peer's opinions second-hand (§3.3
+  // case 2). Opinions about ourselves and about the peer itself are skipped
+  // — self-praise must not enter the merge.
+  if (world_->drm.enabled) {
+    if (IncentiveRouter* other = IncentiveRouter::of(peer); other != nullptr) {
+      for (const auto& [node, rating] : other->ratings_.snapshot()) {
+        if (node == self.id() || node == peer.id()) continue;
+        ratings_.merge_remote(node, rating);
+      }
+    }
+  }
+}
+
+void IncentiveRouter::on_link_down(Host& self, Host& peer, util::SimTime now) {
+  ChitChatRouter::on_link_down(self, peer, now);
+  contact_distance_.erase(peer.id());
+}
+
+IncentiveRouter::PromiseContext IncentiveRouter::make_promise_context(Host& self) const {
+  PromiseContext ctx;
+  if (world_->neighbors) ctx.neighbors = world_->neighbors(self.id());
+  // S_m / Q_m: maxima over the sender's carried messages (Table 3.1).
+  for (const msg::Message* carried : self.buffer().messages()) {
+    ctx.max_size_bytes = std::max(ctx.max_size_bytes, carried->size_bytes());
+    ctx.max_quality = std::max(ctx.max_quality, carried->quality());
+  }
+  return ctx;
+}
+
+double IncentiveRouter::compute_promise(Host& self, Host& peer, const msg::Message& m) {
+  return promise_for(self, peer, m, make_promise_context(self));
+}
+
+double IncentiveRouter::promise_for(Host& self, Host& peer, const msg::Message& m,
+                                    const PromiseContext& ctx) {
+  SoftwareFactors f;
+  f.sum_weights_v = strength_at(peer, m);
+  // w_m: the best interest strength among all currently connected devices.
+  f.max_sum_weights = f.sum_weights_v;
+  for (Host* neighbor : ctx.neighbors) {
+    f.max_sum_weights = std::max(f.max_sum_weights, strength_at(*neighbor, m));
+  }
+  f.rank_u = self.rank();
+  f.rank_v = peer.rank();
+  f.priority = m.priority();
+  f.size_bytes = m.size_bytes();
+  f.quality = m.quality();
+  f.max_size_bytes = std::max(ctx.max_size_bytes, m.size_bytes());
+  f.max_quality = std::max(ctx.max_quality, m.quality());
+
+  const double i_s = software_incentive(world_->incentive, f);
+  const double duration_s =
+      static_cast<double>(m.size_bytes()) / world_->radio.bitrate_bps;
+  const auto dist_it = contact_distance_.find(peer.id());
+  const double distance = dist_it != contact_distance_.end() ? dist_it->second
+                                                             : world_->radio.range_m;
+  const double i_h = hardware_incentive(world_->incentive, world_->radio,
+                                        /*sender_is_source=*/m.source() == self.id(), distance,
+                                        util::SimTime::seconds(duration_s));
+  return total_promise(world_->incentive, i_s, i_h);
+}
+
+std::vector<ForwardPlan> IncentiveRouter::plan(Host& self, Host& peer, util::SimTime now) {
+  std::vector<ForwardPlan> plans = ChitChatRouter::plan(self, peer, now);
+  const ChitChatRouter* peer_router = ChitChatRouter::of(peer);
+  const PromiseContext ctx = make_promise_context(self);
+
+  for (ForwardPlan& p : plans) {
+    const msg::Message* m = self.buffer().find(p.message);
+    DTNIC_ASSERT(m != nullptr);
+    p.promise = promise_for(self, peer, *m, ctx);
+    if (p.role == TransferRole::kRelay && peer_router != nullptr) {
+      // Relay threshold (Table 5.1): a receiver with a very high mean tag
+      // weight — near-certain deliverer — pre-pays a fraction of the promise.
+      const double mean_w = peer_router->interests().mean_weight(m->keywords());
+      if (mean_w > world_->incentive.relay_threshold) {
+        p.prepay = world_->incentive.relay_prepay_fraction * p.promise;
+      }
+    }
+  }
+
+  // Higher-priority, higher-quality messages go first (the behavior Fig. 5.6
+  // measures). Destinations outrank relay handoffs at equal priority.
+  std::stable_sort(plans.begin(), plans.end(), [&self](const ForwardPlan& a,
+                                                       const ForwardPlan& b) {
+    const msg::Message* ma = self.buffer().find(a.message);
+    const msg::Message* mb = self.buffer().find(b.message);
+    DTNIC_ASSERT(ma != nullptr && mb != nullptr);
+    const int pa = msg::priority_level(ma->priority());
+    const int pb = msg::priority_level(mb->priority());
+    if (pa != pb) return pa < pb;
+    if (a.role != b.role) return a.role == TransferRole::kDestination;
+    return ma->quality() > mb->quality();
+  });
+  return plans;
+}
+
+AcceptDecision IncentiveRouter::accept(Host& self, Host& from, const msg::Message& m,
+                                       const ForwardPlan& offer, util::SimTime now) {
+  const AcceptDecision base = ChitChatRouter::accept(self, from, m, offer, now);
+  if (base != AcceptDecision::kAccept) return base;
+
+  // DRM gate: avoid receiving from nodes rated below the trust threshold.
+  if (world_->drm.enabled && !ratings_.trusted(from.id())) {
+    return AcceptDecision::kUntrustedSender;
+  }
+
+  // Storage admission: a copy the (priority-aware) buffer would refuse is
+  // rejected before any bandwidth is spent on it.
+  if (!self.buffer().would_admit(m)) return AcceptDecision::kRefused;
+
+  if (offer.role == TransferRole::kDestination) {
+    // A destination must be able to pay the promised incentive (Paper II
+    // §3.3: a device with no incentive to offer cannot act as destination).
+    if (!ledger_.can_pay(offer.promise)) return AcceptDecision::kNoTokens;
+  } else if (offer.prepay > 0.0 && !ledger_.can_pay(offer.prepay)) {
+    return AcceptDecision::kNoTokens;
+  }
+  return AcceptDecision::kAccept;
+}
+
+void IncentiveRouter::rate_and_record(Host& self, msg::Message& m) {
+  if (!world_->drm.enabled) return;
+  // Rate the source for tag relevance and content quality.
+  const double r_src = MessageJudgement::rate_source(m, world_->drm, rng_);
+  ratings_.add_message_rating(m.source(), r_src);
+  m.add_path_rating(msg::PathRating{self.id(), m.source(), r_src});
+  // Rate every enriching relay for the tags it added.
+  std::vector<routing::NodeId> rated;
+  for (const msg::Annotation& a : m.annotations()) {
+    if (a.annotator == m.source() || a.annotator == self.id()) continue;
+    if (std::find(rated.begin(), rated.end(), a.annotator) != rated.end()) continue;
+    rated.push_back(a.annotator);
+    const double r = MessageJudgement::rate_annotator(m, a.annotator, world_->drm, rng_);
+    ratings_.add_message_rating(a.annotator, r);
+    m.add_path_rating(msg::PathRating{self.id(), a.annotator, r});
+  }
+}
+
+void IncentiveRouter::on_received(Host& self, Host& from, msg::Message m,
+                                  const ForwardPlan& plan, util::SimTime now) {
+  (void)now;
+  self.mark_seen(m.id());
+  IncentiveRouter* sender = IncentiveRouter::of(from);
+
+  if (plan.role == TransferRole::kDestination) {
+    // Enrichment reward: the destination compensates only tags that were
+    // added en route AND match its own interests (§3.2).
+    const auto& my_interests = oracle().interests_of(self.id());
+    int relevant_added = 0;
+    for (const msg::Annotation& a : m.annotations()) {
+      if (a.annotator == m.source()) continue;
+      if (my_interests.count(a.keyword) > 0) ++relevant_added;
+    }
+    const double i_t = tag_reward(world_->incentive, relevant_added);
+
+    // Reputation-scaled award to the deliverer (first copy only — the seen
+    // set refuses duplicates before they reach this point).
+    const double factor = award_factor(world_->drm, m.path_ratings(),
+                                       ratings_.rating_of(from.id()));
+    const double award = factor * (plan.promise + i_t);
+    if (sender != nullptr && award > 0.0) {
+      const double paid = ledger_.pay(sender->ledger_, award);
+      self.events().on_tokens_paid(self.id(), from.id(), paid);
+    }
+    rate_and_record(self, m);
+    store(self, std::move(m), /*own=*/false);
+    return;
+  }
+
+  // Relay path: honor the agreed pre-payment, judge the copy, enrich, store.
+  if (plan.prepay > 0.0 && sender != nullptr) {
+    const double paid = ledger_.pay(sender->ledger_, plan.prepay);
+    self.events().on_tokens_paid(self.id(), from.id(), paid);
+  }
+  rate_and_record(self, m);
+  if (world_->enrichment_enabled) {
+    enricher_.enrich(m, self.id(), profile_, rng_);
+  }
+  store(self, std::move(m), /*own=*/false);
+}
+
+}  // namespace dtnic::core

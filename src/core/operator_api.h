@@ -1,0 +1,95 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incentive_router.h"
+#include "msg/id_source.h"
+#include "msg/keyword.h"
+#include "routing/host.h"
+#include "routing/oracle.h"
+
+/// \file operator_api.h
+/// The paper's §4 "operator functions" as a user-facing facade over one
+/// device running the incentive scheme. Examples and the quickstart drive
+/// the system through this API; each method maps 1:1 to a numbered function
+/// in the paper (Annotate, Subscribe, DecayWeights, IncrementWeights,
+/// GetMessagesToForward, DecideDestOrRelay, DecideBestRelay,
+/// ComputeIncentive, RateMessage, RateNode, Enrich).
+
+namespace dtnic::core {
+
+class DtnOperator {
+ public:
+  /// All references must outlive the operator. The host must run an
+  /// IncentiveRouter.
+  DtnOperator(routing::Host& host, routing::StaticInterestOracle& oracle,
+              msg::KeywordTable& keywords, msg::MessageIdSource& ids);
+
+  /// Function 1, Annotate: create a message from a captured "image". The
+  /// \p labels are the keywords the user keeps/edits (all truthful — they
+  /// describe the content); they also become the message's latent truth.
+  /// Location and capture timestamp are saved with the message (the paper's
+  /// user task). The stored copy is protected from buffer eviction while
+  /// relayed copies remain (own message).
+  msg::Message& annotate(const std::vector<std::string>& labels, util::SimTime now,
+                         std::uint64_t size_bytes, msg::Priority priority, double quality,
+                         std::optional<msg::GeoTag> location = std::nullopt);
+
+  /// Function 2, Subscribe: add keyword interests (registered both in the
+  /// destination oracle and as ChitChat direct interests).
+  void subscribe(const std::vector<std::string>& interests, util::SimTime now);
+
+  /// Function 3, DecayWeights: run the ChitChat decay phase (no connected
+  /// devices assumed).
+  void decay_weights(util::SimTime now);
+
+  /// Function 4, IncrementWeights: run the ChitChat growth phase against a
+  /// connected peer.
+  void increment_weights(routing::Host& peer, util::SimTime now);
+
+  /// Function 5, GetMessagesToForward: ids of messages this device would
+  /// offer to \p peer right now.
+  [[nodiscard]] std::vector<msg::MessageId> messages_to_forward(routing::Host& peer,
+                                                                util::SimTime now);
+
+  /// Function 6, DecideDestOrRelay.
+  [[nodiscard]] routing::TransferRole decide_role(const msg::Message& m,
+                                                  routing::Host& peer) const;
+
+  /// Function 7, DecideBestRelay: among \p candidates, the one with the
+  /// highest interest strength for the message (nullptr if none).
+  [[nodiscard]] routing::Host* best_relay(const std::vector<routing::Host*>& candidates,
+                                          const msg::Message& m) const;
+
+  /// Function 8, ComputeIncentive: the promise this device would attach when
+  /// forwarding \p m to \p peer.
+  [[nodiscard]] double compute_incentive(const msg::Message& m, routing::Host& peer);
+
+  /// Function 9, RateMessage: the simulated user's rating of the message
+  /// source (0..5).
+  [[nodiscard]] double rate_message(const msg::Message& m);
+
+  /// Function 10, RateNode: this device's current rating of \p node.
+  [[nodiscard]] double rate_node(routing::NodeId node) const;
+
+  /// Function 11, Enrich: add user-supplied annotations to a carried
+  /// message; returns how many were newly added. \p truthful reflects
+  /// whether the labels actually describe the content.
+  int enrich(msg::MessageId id, const std::vector<std::string>& labels, bool truthful = true);
+
+  [[nodiscard]] routing::Host& host() { return host_; }
+  [[nodiscard]] IncentiveRouter& router() { return router_; }
+  /// Remaining incentive tokens (the demo app's "incentives left" screen).
+  [[nodiscard]] double tokens() const { return router_.ledger().balance(); }
+
+ private:
+  routing::Host& host_;
+  routing::StaticInterestOracle& oracle_;
+  msg::KeywordTable& keywords_;
+  msg::MessageIdSource& ids_;
+  IncentiveRouter& router_;
+};
+
+}  // namespace dtnic::core

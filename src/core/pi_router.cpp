@@ -1,0 +1,113 @@
+#include "core/pi_router.h"
+
+#include "util/assert.h"
+
+namespace dtnic::core {
+
+using routing::ForwardPlan;
+using routing::Host;
+using routing::TransferRole;
+
+void PiEscrowBank::deposit(msg::MessageId id, double amount) {
+  DTNIC_REQUIRE(amount >= 0.0);
+  if (amount <= 0.0) return;
+  escrow_[id] += amount;
+  total_ += amount;
+}
+
+double PiEscrowBank::clear(msg::MessageId id) {
+  auto it = escrow_.find(id);
+  if (it == escrow_.end()) return 0.0;
+  const double amount = it->second;
+  escrow_.erase(it);
+  total_ -= amount;
+  return amount;
+}
+
+double PiEscrowBank::held(msg::MessageId id) const {
+  auto it = escrow_.find(id);
+  return it != escrow_.end() ? it->second : 0.0;
+}
+
+PiRouter::PiRouter(const routing::DestinationOracle& oracle,
+                   const routing::chitchat::ChitChatParams& chitchat,
+                   util::SimTime contact_quantum, const IncentiveWorld* world,
+                   PiEscrowBank* bank, const PiParams& params)
+    : ChitChatRouter(oracle, chitchat, contact_quantum),
+      world_(world),
+      bank_(bank),
+      params_(params),
+      ledger_(world != nullptr ? world->incentive.initial_tokens : 0.0) {
+  DTNIC_REQUIRE_MSG(world != nullptr, "PiRouter needs a shared IncentiveWorld");
+  DTNIC_REQUIRE_MSG(bank != nullptr, "PiRouter needs the shared escrow bank");
+  DTNIC_REQUIRE(params.attachment >= 0.0);
+  DTNIC_REQUIRE(params.deliverer_share >= 0.0 && params.deliverer_share <= 1.0);
+}
+
+PiRouter* PiRouter::of(Host& host) {
+  if (!host.has_router()) return nullptr;
+  return dynamic_cast<PiRouter*>(&host.router());
+}
+
+void PiRouter::on_originated(Host& self, const msg::Message& m, util::SimTime now) {
+  (void)now;
+  // Source-pays: escrow the attachment (or whatever the source can afford).
+  const double escrowed = ledger_.debit(params_.attachment);
+  bank_->deposit(m.id(), escrowed);
+  (void)self;
+}
+
+void PiRouter::on_received(Host& self, Host& from, msg::Message m, const ForwardPlan& plan,
+                           util::SimTime now) {
+  const msg::MessageId id = m.id();
+  const std::vector<msg::HopRecord> path = m.path();
+  ChitChatRouter::on_received(self, from, std::move(m), plan, now);
+  if (plan.role != TransferRole::kDestination) return;
+
+  // First delivery clears the escrow: the deliverer takes its share, the
+  // remainder splits equally among the intermediate relays of the winning
+  // path (source and destination excluded).
+  const double escrow = bank_->clear(id);
+  if (escrow <= 0.0) return;
+
+  const util::NodeId payer = path.empty() ? self.id() : path.front().node;
+  PiRouter* deliverer = PiRouter::of(from);
+  double remainder = escrow;
+  if (deliverer != nullptr) {
+    const double share = escrow * params_.deliverer_share;
+    deliverer->ledger_.credit(share);
+    self.events().on_tokens_paid(payer, from.id(), share);
+    remainder -= share;
+  }
+
+  // Relays: path entries between the source (front) and this destination
+  // (back), excluding the deliverer who already took its cut.
+  std::vector<Host*> relays;
+  if (world_->host_by_id) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (path[i].node == from.id() || path[i].node == self.id()) continue;
+      if (Host* h = world_->host_by_id(path[i].node); h != nullptr) relays.push_back(h);
+    }
+  }
+  if (relays.empty()) {
+    // No intermediate relays: the deliverer collects everything.
+    if (deliverer != nullptr && remainder > 0.0) {
+      deliverer->ledger_.credit(remainder);
+      self.events().on_tokens_paid(payer, from.id(), remainder);
+    } else if (remainder > 0.0) {
+      bank_->deposit(id, remainder);  // nobody to pay: escrow stays banked
+    }
+    return;
+  }
+  const double per_relay = remainder / static_cast<double>(relays.size());
+  for (Host* relay : relays) {
+    if (PiRouter* r = PiRouter::of(*relay); r != nullptr) {
+      r->ledger_.credit(per_relay);
+      self.events().on_tokens_paid(payer, relay->id(), per_relay);
+    } else {
+      bank_->deposit(id, per_relay);
+    }
+  }
+}
+
+}  // namespace dtnic::core

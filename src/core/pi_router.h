@@ -1,0 +1,76 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/incentive_router.h"
+
+/// \file pi_router.h
+/// A PI-style *source-pays* incentive scheme (Lu et al., "Pi: A practical
+/// incentive protocol for delay tolerant networks", surveyed in the thesis
+/// §2.1), built on the same ChitChat substrate so the two incentive designs
+/// are directly comparable:
+///
+///   * the SOURCE attaches an incentive escrow to each bundle it creates
+///     (tokens move from its ledger into a network-wide escrow bank — the
+///     paper's Trusted Authority clearing role);
+///   * on the FIRST delivery, the escrow is cleared: half goes to the
+///     deliverer, the rest is split equally among the earlier relays on the
+///     winning path (PI's layered-credit idea, simplified);
+///   * destinations pay nothing — receiving is free.
+///
+/// The design contrast with the thesis' destination-pays scheme: under PI,
+/// selfish nodes can free-ride as destinations forever (no token starvation
+/// ever bars them), while sources bear the cost of their own traffic. The
+/// `ablation_incentive_design` bench measures exactly this difference.
+
+namespace dtnic::core {
+
+/// Network-wide escrow ledger, shared by all PiRouters of a run (the TA).
+class PiEscrowBank {
+ public:
+  /// Deposit escrow for a message; called once by the source.
+  void deposit(msg::MessageId id, double amount);
+  /// Withdraw the full escrow (0 if none / already cleared).
+  [[nodiscard]] double clear(msg::MessageId id);
+  [[nodiscard]] double held(msg::MessageId id) const;
+  /// Total tokens currently escrowed (conservation checks).
+  [[nodiscard]] double total_held() const { return total_; }
+
+ private:
+  std::unordered_map<msg::MessageId, double> escrow_;
+  double total_ = 0.0;
+};
+
+struct PiParams {
+  /// Escrow the source attaches per created bundle (clamped to its balance).
+  double attachment = 4.0;
+  /// Deliverer's share of the cleared escrow; the rest splits across the
+  /// path's relays.
+  double deliverer_share = 0.5;
+};
+
+class PiRouter final : public routing::ChitChatRouter {
+ public:
+  /// \p bank and \p world are shared across the run; \p world supplies the
+  /// initial token allowance and the host lookup used to credit relays.
+  PiRouter(const routing::DestinationOracle& oracle,
+           const routing::chitchat::ChitChatParams& chitchat, util::SimTime contact_quantum,
+           const IncentiveWorld* world, PiEscrowBank* bank, const PiParams& params);
+
+  [[nodiscard]] TokenLedger& ledger() { return ledger_; }
+  [[nodiscard]] const TokenLedger& ledger() const { return ledger_; }
+
+  [[nodiscard]] static PiRouter* of(routing::Host& host);
+
+  void on_originated(routing::Host& self, const msg::Message& m, util::SimTime now) override;
+  void on_received(routing::Host& self, routing::Host& from, msg::Message m,
+                   const routing::ForwardPlan& plan, util::SimTime now) override;
+
+ private:
+  const IncentiveWorld* world_;
+  PiEscrowBank* bank_;
+  PiParams params_;
+  TokenLedger ledger_;
+};
+
+}  // namespace dtnic::core

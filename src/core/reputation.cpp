@@ -1,0 +1,104 @@
+#include "core/reputation.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::core {
+
+namespace {
+
+double clamp_rating(double r, const DrmParams& drm) {
+  return std::clamp(r, 0.0, drm.rating_max);
+}
+
+double with_noise(double r, const DrmParams& drm, util::Rng& rng) {
+  if (drm.rating_noise_sd <= 0.0) return clamp_rating(r, drm);
+  return clamp_rating(r + rng.normal(0.0, drm.rating_noise_sd), drm);
+}
+
+}  // namespace
+
+void RatingStore::add_message_rating(NodeId rated, double rating) {
+  DTNIC_REQUIRE(rated.valid());
+  DTNIC_REQUIRE_MSG(rating >= 0.0 && rating <= params_.rating_max,
+                    "rating outside [0, rating_max]");
+  Record& rec = records_[rated];
+  rec.first_hand_sum += rating;
+  rec.first_hand_count += 1;
+  // Case 1: the node rating is the running mean of message ratings.
+  rec.value = rec.first_hand_sum / static_cast<double>(rec.first_hand_count);
+}
+
+void RatingStore::merge_remote(NodeId rated, double remote_rating) {
+  DTNIC_REQUIRE(rated.valid());
+  const double remote = std::clamp(remote_rating, 0.0, params_.rating_max);
+  auto it = records_.find(rated);
+  if (it == records_.end()) {
+    Record rec;
+    rec.value = remote;  // no prior opinion: adopt the remote view
+    records_.emplace(rated, rec);
+    return;
+  }
+  // Case 2: r ← (1−α)·r_remote + α·r_own.
+  it->second.value = (1.0 - params_.alpha) * remote + params_.alpha * it->second.value;
+}
+
+double RatingStore::rating_of(NodeId node) const {
+  auto it = records_.find(node);
+  return it != records_.end() ? it->second.value : params_.default_rating;
+}
+
+bool RatingStore::trusted(NodeId node) const {
+  if (!params_.enabled) return true;
+  return rating_of(node) >= params_.trust_threshold;
+}
+
+std::vector<std::pair<NodeId, double>> RatingStore::snapshot() const {
+  std::vector<std::pair<NodeId, double>> out;
+  out.reserve(records_.size());
+  for (const auto& [node, rec] : records_) out.emplace_back(node, rec.value);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+double MessageJudgement::truthful_fraction(const msg::Message& m, NodeId annotator) {
+  const auto tags = m.annotations_by(annotator);
+  if (tags.empty()) return 1.0;
+  std::size_t truthful = 0;
+  for (const msg::Annotation& a : tags) {
+    if (a.truthful) ++truthful;
+  }
+  return static_cast<double>(truthful) / static_cast<double>(tags.size());
+}
+
+double MessageJudgement::rate_source(const msg::Message& m, const DrmParams& drm,
+                                     util::Rng& rng) {
+  const double r_t = drm.rating_max * truthful_fraction(m, m.source());
+  const double r_q = drm.rating_max * m.quality();
+  const double r = 0.5 * (r_t * drm.confidence) + 0.5 * r_q;
+  return with_noise(r, drm, rng);
+}
+
+double MessageJudgement::rate_annotator(const msg::Message& m, NodeId annotator,
+                                        const DrmParams& drm, util::Rng& rng) {
+  if (m.annotations_by(annotator).empty()) return drm.default_rating;
+  const double r_t = drm.rating_max * truthful_fraction(m, annotator);
+  return with_noise(r_t * drm.confidence, drm, rng);
+}
+
+double award_factor(const DrmParams& drm, const std::vector<msg::PathRating>& path_ratings,
+                    double deliverer_rating) {
+  const double own = std::clamp(deliverer_rating, 0.0, drm.rating_max) / drm.rating_max;
+  if (!drm.enabled) return 1.0;
+  if (path_ratings.empty()) return own;
+  double sum = 0.0;
+  for (const msg::PathRating& r : path_ratings) {
+    sum += std::clamp(r.rating, 0.0, drm.rating_max) / drm.rating_max;
+  }
+  const double path_mean = sum / static_cast<double>(path_ratings.size());
+  return (1.0 - drm.alpha) * path_mean + drm.alpha * own;
+}
+
+}  // namespace dtnic::core

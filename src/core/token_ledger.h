@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+/// \file token_ledger.h
+/// Per-node incentive token account. Tokens are assigned once at scenario
+/// start (Table 5.1: 200 per node) and only move between nodes — the network
+/// total is invariant, which the property tests assert. Balances never go
+/// negative: a payer pays at most what it holds.
+
+namespace dtnic::core {
+
+class TokenLedger {
+ public:
+  explicit TokenLedger(double initial_tokens = 0.0) : balance_(initial_tokens) {
+    DTNIC_REQUIRE_MSG(initial_tokens >= 0.0, "initial tokens must be non-negative");
+  }
+
+  [[nodiscard]] double balance() const { return balance_; }
+  [[nodiscard]] bool can_pay(double amount) const { return balance_ >= amount; }
+
+  /// Lifetime counters for the metrics collector.
+  [[nodiscard]] double total_earned() const { return earned_; }
+  [[nodiscard]] double total_spent() const { return spent_; }
+
+  /// Take up to \p amount out of this ledger (e.g. into an escrow bank);
+  /// returns the amount actually withdrawn (clamped to the balance).
+  double debit(double amount) {
+    DTNIC_REQUIRE_MSG(amount >= 0.0, "debit must be non-negative");
+    const double taken = amount < balance_ ? amount : balance_;
+    balance_ -= taken;
+    spent_ += taken;
+    return taken;
+  }
+
+  /// Add \p amount to this ledger (e.g. cleared from an escrow bank).
+  void credit(double amount) {
+    DTNIC_REQUIRE_MSG(amount >= 0.0, "credit must be non-negative");
+    balance_ += amount;
+    earned_ += amount;
+  }
+
+  /// Move up to \p amount from this ledger into \p payee; returns the amount
+  /// actually transferred (clamped to the available balance).
+  double pay(TokenLedger& payee, double amount) {
+    DTNIC_REQUIRE_MSG(amount >= 0.0, "payment must be non-negative");
+    DTNIC_REQUIRE_MSG(&payee != this, "cannot pay self");
+    const double paid = amount < balance_ ? amount : balance_;
+    balance_ -= paid;
+    spent_ += paid;
+    payee.balance_ += paid;
+    payee.earned_ += paid;
+    return paid;
+  }
+
+ private:
+  double balance_;
+  double earned_ = 0.0;
+  double spent_ = 0.0;
+};
+
+}  // namespace dtnic::core

@@ -1,0 +1,66 @@
+#include "mobility/hotspot.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace dtnic::mobility {
+
+HotspotMobility::HotspotMobility(const HotspotParams& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  DTNIC_REQUIRE(params.area.width > 0.0 && params.area.height > 0.0);
+  DTNIC_REQUIRE_MSG(!params.hotspots.empty(), "hotspot mobility needs at least one hotspot");
+  DTNIC_REQUIRE(params.hotspot_radius_m > 0.0);
+  DTNIC_REQUIRE(params.hotspot_probability >= 0.0 && params.hotspot_probability <= 1.0);
+  DTNIC_REQUIRE(params.min_speed_mps > 0.0);
+  DTNIC_REQUIRE(params.max_speed_mps >= params.min_speed_mps);
+  for (const util::Vec2& h : params.hotspots) {
+    DTNIC_REQUIRE_MSG(params.area.contains(h), "hotspot outside the area");
+  }
+  from_ = next_waypoint();
+  to_ = from_;
+}
+
+std::vector<util::Vec2> HotspotMobility::generate_hotspots(const Area& area,
+                                                           std::size_t count,
+                                                           util::Rng& rng) {
+  DTNIC_REQUIRE(count >= 1);
+  std::vector<util::Vec2> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)});
+  }
+  return out;
+}
+
+util::Vec2 HotspotMobility::next_waypoint() {
+  if (!rng_.chance(params_.hotspot_probability)) {
+    return {rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  }
+  const util::Vec2 center = params_.hotspots[rng_.index(params_.hotspots.size())];
+  // Uniform over the disc: radius ∝ sqrt(u).
+  const double r = params_.hotspot_radius_m * std::sqrt(rng_.uniform());
+  const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  return params_.area.clamp(center + util::Vec2{std::cos(angle), std::sin(angle)} * r);
+}
+
+void HotspotMobility::advance_leg() {
+  from_ = to_;
+  to_ = next_waypoint();
+  const double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  leg_start_s_ = pause_until_s_;
+  arrive_s_ = leg_start_s_ + util::distance(from_, to_) / speed;
+  pause_until_s_ = arrive_s_ + rng_.uniform(params_.min_pause_s, params_.max_pause_s);
+}
+
+util::Vec2 HotspotMobility::position_at(util::SimTime t) {
+  const double ts = t.sec();
+  while (ts > pause_until_s_) advance_leg();
+  if (ts >= arrive_s_) return to_;
+  if (ts <= leg_start_s_) return from_;
+  const double frac = (ts - leg_start_s_) / (arrive_s_ - leg_start_s_);
+  return util::lerp(from_, to_, frac);
+}
+
+}  // namespace dtnic::mobility

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "util/sim_time.h"
+#include "util/vec2.h"
+
+/// \file mobility_model.h
+/// Node movement. Models are *analytic*: they answer "where is the node at
+/// time t" directly, generating movement legs lazily, so the simulator never
+/// pays per-timestep position updates for idle nodes.
+
+namespace dtnic::mobility {
+
+/// Rectangular world the nodes move in, in metres. Origin at (0,0).
+struct Area {
+  double width = 1000.0;
+  double height = 1000.0;
+
+  [[nodiscard]] bool contains(util::Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+  [[nodiscard]] util::Vec2 clamp(util::Vec2 p) const {
+    return {std::min(std::max(p.x, 0.0), width), std::min(std::max(p.y, 0.0), height)};
+  }
+};
+
+/// Interface for node movement.
+///
+/// position_at() must be called with non-decreasing times: stochastic models
+/// generate their movement legs forward from a per-node random stream and do
+/// not keep history. Repeated queries at the same time are fine.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Node position at time \p t (non-decreasing across calls).
+  [[nodiscard]] virtual util::Vec2 position_at(util::SimTime t) = 0;
+
+  /// Upper bound on instantaneous speed (m/s); the connectivity scanner uses
+  /// this to bound how far a node can drift between scans.
+  [[nodiscard]] virtual double max_speed() const = 0;
+};
+
+}  // namespace dtnic::mobility

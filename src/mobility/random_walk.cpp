@@ -1,0 +1,40 @@
+#include "mobility/random_walk.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace dtnic::mobility {
+
+RandomWalk::RandomWalk(const RandomWalkParams& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  DTNIC_REQUIRE(params.area.width > 0.0 && params.area.height > 0.0);
+  DTNIC_REQUIRE(params.min_speed_mps > 0.0);
+  DTNIC_REQUIRE(params.max_speed_mps >= params.min_speed_mps);
+  DTNIC_REQUIRE(params.step_distance_m > 0.0);
+  from_ = {rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  to_ = from_;
+}
+
+void RandomWalk::advance_leg() {
+  from_ = to_;
+  const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double dist = rng_.uniform(0.0, params_.step_distance_m);
+  to_ = params_.area.clamp(from_ + util::Vec2{std::cos(angle), std::sin(angle)} * dist);
+  const double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  leg_start_s_ = pause_until_s_;
+  arrive_s_ = leg_start_s_ + util::distance(from_, to_) / speed;
+  pause_until_s_ = arrive_s_ + rng_.uniform(params_.min_pause_s, params_.max_pause_s);
+}
+
+util::Vec2 RandomWalk::position_at(util::SimTime t) {
+  const double ts = t.sec();
+  while (ts > pause_until_s_) advance_leg();
+  if (ts >= arrive_s_) return to_;
+  if (ts <= leg_start_s_) return from_;
+  const double frac = (ts - leg_start_s_) / (arrive_s_ - leg_start_s_);
+  return util::lerp(from_, to_, frac);
+}
+
+}  // namespace dtnic::mobility

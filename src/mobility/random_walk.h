@@ -1,0 +1,41 @@
+#pragma once
+
+#include "mobility/mobility_model.h"
+#include "util/rng.h"
+
+/// \file random_walk.h
+/// Random Walk mobility: repeatedly step a bounded random distance in a
+/// uniformly random direction at a uniform random speed. Provides a more
+/// local movement pattern than Random Waypoint; used in ablation scenarios.
+
+namespace dtnic::mobility {
+
+struct RandomWalkParams {
+  Area area;
+  double min_speed_mps = 0.5;
+  double max_speed_mps = 1.5;
+  double step_distance_m = 100.0;  ///< max displacement per leg
+  double min_pause_s = 0.0;
+  double max_pause_s = 10.0;
+};
+
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(const RandomWalkParams& params, util::Rng rng);
+
+  [[nodiscard]] util::Vec2 position_at(util::SimTime t) override;
+  [[nodiscard]] double max_speed() const override { return params_.max_speed_mps; }
+
+ private:
+  void advance_leg();
+
+  RandomWalkParams params_;
+  util::Rng rng_;
+  util::Vec2 from_;
+  util::Vec2 to_;
+  double leg_start_s_ = 0.0;
+  double arrive_s_ = 0.0;
+  double pause_until_s_ = 0.0;
+};
+
+}  // namespace dtnic::mobility

@@ -1,0 +1,40 @@
+#include "mobility/random_waypoint.h"
+
+#include "util/assert.h"
+
+namespace dtnic::mobility {
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointParams& params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  DTNIC_REQUIRE(params.area.width > 0.0 && params.area.height > 0.0);
+  DTNIC_REQUIRE(params.min_speed_mps > 0.0);
+  DTNIC_REQUIRE(params.max_speed_mps >= params.min_speed_mps);
+  DTNIC_REQUIRE(params.min_pause_s >= 0.0);
+  DTNIC_REQUIRE(params.max_pause_s >= params.min_pause_s);
+  from_ = {rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  to_ = from_;
+  leg_start_s_ = 0.0;
+  arrive_s_ = 0.0;
+  pause_until_s_ = 0.0;  // start the first leg immediately
+}
+
+void RandomWaypoint::advance_leg() {
+  from_ = to_;
+  to_ = {rng_.uniform(0.0, params_.area.width), rng_.uniform(0.0, params_.area.height)};
+  const double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  const double dist = util::distance(from_, to_);
+  leg_start_s_ = pause_until_s_;
+  arrive_s_ = leg_start_s_ + dist / speed;
+  pause_until_s_ = arrive_s_ + rng_.uniform(params_.min_pause_s, params_.max_pause_s);
+}
+
+util::Vec2 RandomWaypoint::position_at(util::SimTime t) {
+  const double ts = t.sec();
+  while (ts > pause_until_s_) advance_leg();
+  if (ts >= arrive_s_) return to_;  // pausing at the waypoint
+  if (ts <= leg_start_s_) return from_;
+  const double frac = (ts - leg_start_s_) / (arrive_s_ - leg_start_s_);
+  return util::lerp(from_, to_, frac);
+}
+
+}  // namespace dtnic::mobility

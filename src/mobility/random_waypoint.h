@@ -1,0 +1,45 @@
+#pragma once
+
+#include "mobility/mobility_model.h"
+#include "util/rng.h"
+
+/// \file random_waypoint.h
+/// Random Waypoint mobility (the model used by the paper's evaluation,
+/// Table 5.1): pick a uniform destination in the area, walk to it at a
+/// uniform random speed, pause, repeat.
+
+namespace dtnic::mobility {
+
+struct RandomWaypointParams {
+  Area area;
+  double min_speed_mps = 0.5;   ///< pedestrian range, ONE defaults
+  double max_speed_mps = 1.5;
+  double min_pause_s = 0.0;
+  double max_pause_s = 120.0;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  /// \p rng is this node's private movement stream (fork of the scenario
+  /// seed), so mobility is independent of all other random decisions.
+  RandomWaypoint(const RandomWaypointParams& params, util::Rng rng);
+
+  [[nodiscard]] util::Vec2 position_at(util::SimTime t) override;
+  [[nodiscard]] double max_speed() const override { return params_.max_speed_mps; }
+
+  /// Exposed for tests: where the current movement leg ends.
+  [[nodiscard]] util::Vec2 current_target() const { return to_; }
+
+ private:
+  void advance_leg();
+
+  RandomWaypointParams params_;
+  util::Rng rng_;
+  util::Vec2 from_;
+  util::Vec2 to_;
+  double leg_start_s_ = 0.0;   ///< time movement on the current leg begins
+  double arrive_s_ = 0.0;      ///< time the node reaches to_
+  double pause_until_s_ = 0.0; ///< end of the pause at to_
+};
+
+}  // namespace dtnic::mobility

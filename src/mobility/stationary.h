@@ -1,0 +1,24 @@
+#pragma once
+
+#include "mobility/mobility_model.h"
+
+/// \file stationary.h
+/// A node that never moves; used for infrastructure nodes and for
+/// deterministic unit tests of connectivity and routing.
+
+namespace dtnic::mobility {
+
+class Stationary final : public MobilityModel {
+ public:
+  explicit Stationary(util::Vec2 position) : position_(position) {}
+
+  [[nodiscard]] util::Vec2 position_at(util::SimTime) override { return position_; }
+  [[nodiscard]] double max_speed() const override { return 0.0; }
+
+  void move_to(util::Vec2 p) { position_ = p; }
+
+ private:
+  util::Vec2 position_;
+};
+
+}  // namespace dtnic::mobility

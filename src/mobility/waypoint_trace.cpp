@@ -1,0 +1,32 @@
+#include "mobility/waypoint_trace.h"
+
+#include "util/assert.h"
+
+namespace dtnic::mobility {
+
+WaypointTrace::WaypointTrace(std::vector<Keyframe> keyframes)
+    : keyframes_(std::move(keyframes)) {
+  DTNIC_REQUIRE_MSG(!keyframes_.empty(), "trace needs at least one keyframe");
+  for (std::size_t i = 1; i < keyframes_.size(); ++i) {
+    DTNIC_REQUIRE_MSG(keyframes_[i].time > keyframes_[i - 1].time,
+                      "keyframe times must be strictly increasing");
+    const double dt = (keyframes_[i].time - keyframes_[i - 1].time).sec();
+    const double dist = util::distance(keyframes_[i].position, keyframes_[i - 1].position);
+    max_speed_ = std::max(max_speed_, dist / dt);
+  }
+}
+
+util::Vec2 WaypointTrace::position_at(util::SimTime t) {
+  if (t <= keyframes_.front().time) return keyframes_.front().position;
+  if (t >= keyframes_.back().time) return keyframes_.back().position;
+  // Queries are non-decreasing; resume the scan from the cached segment, but
+  // rewind if a repeated query landed earlier (same-time re-queries).
+  if (cursor_ > 0 && keyframes_[cursor_].time > t) cursor_ = 0;
+  while (keyframes_[cursor_ + 1].time < t) ++cursor_;
+  const Keyframe& a = keyframes_[cursor_];
+  const Keyframe& b = keyframes_[cursor_ + 1];
+  const double frac = (t - a.time) / (b.time - a.time);
+  return util::lerp(a.position, b.position, frac);
+}
+
+}  // namespace dtnic::mobility

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "mobility/mobility_model.h"
+
+/// \file waypoint_trace.h
+/// Deterministic, scripted movement along timestamped waypoints. The main
+/// consumer is the test suite (contacts at exactly known times); it also
+/// serves as the import path for external mobility traces.
+
+namespace dtnic::mobility {
+
+class WaypointTrace final : public MobilityModel {
+ public:
+  struct Keyframe {
+    util::SimTime time;
+    util::Vec2 position;
+  };
+
+  /// Keyframes must be non-empty and strictly increasing in time. Positions
+  /// before the first keyframe hold the first position; after the last, the
+  /// last. Between keyframes the node moves linearly.
+  explicit WaypointTrace(std::vector<Keyframe> keyframes);
+
+  [[nodiscard]] util::Vec2 position_at(util::SimTime t) override;
+  [[nodiscard]] double max_speed() const override { return max_speed_; }
+
+ private:
+  std::vector<Keyframe> keyframes_;
+  double max_speed_ = 0.0;
+  std::size_t cursor_ = 0;  ///< last segment used; queries are monotone
+};
+
+}  // namespace dtnic::mobility

@@ -1,0 +1,175 @@
+#include "msg/buffer.h"
+
+#include "util/assert.h"
+
+namespace dtnic::msg {
+
+namespace {
+/// May \p victim be evicted to admit \p incoming under the priority policy?
+/// A victim of strictly higher priority is protected; equal or lower
+/// priority churns (quality only orders who goes first).
+bool evictable_for(const Message& victim, const Message& incoming) {
+  return priority_level(victim.priority()) >= priority_level(incoming.priority());
+}
+}  // namespace
+
+MessageBuffer::MessageBuffer(std::uint64_t capacity_bytes, DropPolicy policy)
+    : policy_(policy), capacity_bytes_(capacity_bytes) {
+  DTNIC_REQUIRE_MSG(capacity_bytes > 0, "buffer capacity must be positive");
+}
+
+std::list<MessageBuffer::Slot>::iterator MessageBuffer::pick_victim() {
+  // Own (originated) messages are spared while any relayed copy remains;
+  // once only own messages are left they are evicted too (a node cannot
+  // wedge itself by creating content).
+  for (const bool allow_own : {false, true}) {
+    if (policy_ == DropPolicy::kFifoOldest) {
+      for (auto it = order_.begin(); it != order_.end(); ++it) {
+        if (it->own == allow_own) return it;
+      }
+      continue;
+    }
+    // kLowPriorityFirst: worst (priority, quality) copy; order_ is
+    // oldest-first, so ties fall to the oldest automatically.
+    auto victim = order_.end();
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->own != allow_own) continue;
+      if (victim == order_.end()) {
+        victim = it;
+        continue;
+      }
+      const int it_priority = priority_level(it->message.priority());
+      const int victim_priority = priority_level(victim->message.priority());
+      if (it_priority > victim_priority ||
+          (it_priority == victim_priority &&
+           it->message.quality() < victim->message.quality())) {
+        victim = it;
+      }
+    }
+    if (victim != order_.end()) return victim;
+  }
+  return order_.end();
+}
+
+MessageBuffer::AddOutcome MessageBuffer::add(Message m, bool own) {
+  AddOutcome outcome;
+  if (contains(m.id())) {
+    outcome.result = AddResult::kDuplicate;
+    return outcome;
+  }
+  if (m.size_bytes() > capacity_bytes_) {
+    outcome.result = AddResult::kTooLarge;
+    return outcome;
+  }
+  // Evict non-own messages (per policy) until the new one fits.
+  while (used_bytes_ + m.size_bytes() > capacity_bytes_) {
+    auto it = pick_victim();
+    if (it == order_.end()) break;
+    if (policy_ == DropPolicy::kLowPriorityFirst && !own &&
+        !evictable_for(it->message, m)) {
+      // Every remaining candidate outranks the incoming relayed copy: keep
+      // what we have.
+      outcome.result = AddResult::kNotAdmitted;
+      return outcome;
+    }
+    used_bytes_ -= it->message.size_bytes();
+    index_.erase(it->message.id());
+    outcome.evicted.push_back(std::move(it->message));
+    order_.erase(it);
+    ++revision_;
+  }
+  if (used_bytes_ + m.size_bytes() > capacity_bytes_) {
+    // Own messages fill the buffer; cannot admit. Put nothing back — the
+    // evictions already performed stand (mirrors ONE, which frees before
+    // checking admissibility).
+    outcome.result = AddResult::kTooLarge;
+    return outcome;
+  }
+  used_bytes_ += m.size_bytes();
+  const MessageId id = m.id();
+  order_.push_back(Slot{std::move(m), own});
+  index_.emplace(id, std::prev(order_.end()));
+  outcome.result = AddResult::kAdded;
+  ++revision_;
+  return outcome;
+}
+
+bool MessageBuffer::would_admit(const Message& m, bool own) const {
+  if (contains(m.id())) return false;
+  if (m.size_bytes() > capacity_bytes_) return false;
+  std::uint64_t freeable = free_bytes();
+  if (freeable >= m.size_bytes()) return true;
+  // Under FIFO (or for an own creation) every slot is ultimately evictable,
+  // and the message fits within capacity, so it is always admitted.
+  if (policy_ == DropPolicy::kFifoOldest || own) return true;
+  // Priority policy: add() evicts worst-first among non-own slots and stops
+  // at the first victim that outranks the incoming copy; own slots become
+  // candidates only once no non-own slot remains. Evictability is monotone
+  // in priority level, so the evictable set is exactly the slots at equal or
+  // lower priority.
+  std::uint64_t non_own_evictable = 0;
+  std::uint64_t own_evictable = 0;
+  bool any_non_own_protected = false;
+  for (const Slot& slot : order_) {
+    const bool evictable = evictable_for(slot.message, m);
+    if (!slot.own) {
+      if (evictable) {
+        non_own_evictable += slot.message.size_bytes();
+      } else {
+        any_non_own_protected = true;
+      }
+    } else if (evictable) {
+      own_evictable += slot.message.size_bytes();
+    }
+  }
+  if (freeable + non_own_evictable >= m.size_bytes()) return true;
+  if (any_non_own_protected) return false;  // add() refuses before touching own slots
+  return freeable + non_own_evictable + own_evictable >= m.size_bytes();
+}
+
+bool MessageBuffer::contains(MessageId id) const { return index_.count(id) > 0; }
+
+const Message* MessageBuffer::find(MessageId id) const {
+  auto it = index_.find(id);
+  return it != index_.end() ? &it->second->message : nullptr;
+}
+
+Message* MessageBuffer::find_mutable(MessageId id) {
+  auto it = index_.find(id);
+  return it != index_.end() ? &it->second->message : nullptr;
+}
+
+bool MessageBuffer::remove(MessageId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  used_bytes_ -= it->second->message.size_bytes();
+  order_.erase(it->second);
+  index_.erase(it);
+  ++revision_;
+  return true;
+}
+
+std::vector<Message> MessageBuffer::drop_expired(SimTime now) {
+  std::vector<Message> dropped;
+  for (auto it = order_.begin(); it != order_.end();) {
+    if (it->message.expired(now)) {
+      used_bytes_ -= it->message.size_bytes();
+      index_.erase(it->message.id());
+      dropped.push_back(std::move(it->message));
+      it = order_.erase(it);
+      ++revision_;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<const Message*> MessageBuffer::messages() const {
+  std::vector<const Message*> out;
+  out.reserve(order_.size());
+  for (const Slot& slot : order_) out.push_back(&slot.message);
+  return out;
+}
+
+}  // namespace dtnic::msg

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "util/ids.h"
+
+/// \file id_source.h
+/// Monotonic message-id allocator, one per scenario run. Plays the role of
+/// the paper's UUIDs: globally unique per created message, shared by all
+/// copies of that message.
+
+namespace dtnic::msg {
+
+class MessageIdSource {
+ public:
+  [[nodiscard]] MessageId next() { return MessageId(next_++); }
+  [[nodiscard]] std::size_t issued() const { return next_; }
+
+ private:
+  util::MessageId::underlying next_ = 0;
+};
+
+}  // namespace dtnic::msg

@@ -1,0 +1,39 @@
+#include "msg/keyword.h"
+
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace dtnic::msg {
+
+KeywordId KeywordTable::intern(const std::string& name) {
+  DTNIC_REQUIRE_MSG(!name.empty(), "keyword must not be empty");
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  const KeywordId id(static_cast<KeywordId::underlying>(names_.size()));
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+KeywordId KeywordTable::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it != index_.end() ? it->second : KeywordId{};
+}
+
+const std::string& KeywordTable::name(KeywordId id) const {
+  DTNIC_REQUIRE_MSG(id.valid() && id.value() < names_.size(), "unknown keyword id");
+  return names_[id.value()];
+}
+
+std::vector<KeywordId> KeywordTable::make_pool(std::size_t count, const std::string& prefix) {
+  std::vector<KeywordId> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%03zu", i);
+    pool.push_back(intern(prefix + buf));
+  }
+  return pool;
+}
+
+}  // namespace dtnic::msg

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+/// \file keyword.h
+/// Keyword interning. Social interests and message annotations are semantic
+/// keywords ("red car", "medic", ...); the simulator interns each distinct
+/// string once and passes 32-bit KeywordIds everywhere else.
+
+namespace dtnic::msg {
+
+using util::KeywordId;
+
+class KeywordTable {
+ public:
+  /// Intern \p name, returning its stable id. Idempotent.
+  KeywordId intern(const std::string& name);
+
+  /// Lookup without interning; invalid id if unknown.
+  [[nodiscard]] KeywordId find(const std::string& name) const;
+
+  /// Name for an id. Requires a valid, previously interned id.
+  [[nodiscard]] const std::string& name(KeywordId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Generate a pool of \p count synthetic keywords ("kw000".."kwNNN"),
+  /// matching the paper's "pool of social interest keywords" (Table 5.1).
+  [[nodiscard]] std::vector<KeywordId> make_pool(std::size_t count,
+                                                 const std::string& prefix = "kw");
+
+ private:
+  std::unordered_map<std::string, KeywordId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dtnic::msg

@@ -1,0 +1,96 @@
+#include "msg/message.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::msg {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kMedium: return "medium";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+Message::Message(MessageId id, NodeId source, SimTime created_at, std::uint64_t size_bytes,
+                 Priority priority, double quality)
+    : id_(id),
+      source_(source),
+      created_at_(created_at),
+      size_bytes_(size_bytes),
+      priority_(priority),
+      quality_(quality) {
+  DTNIC_REQUIRE_MSG(id.valid(), "message id must be valid");
+  DTNIC_REQUIRE_MSG(source.valid(), "message source must be valid");
+  DTNIC_REQUIRE_MSG(size_bytes > 0, "message size must be positive");
+  DTNIC_REQUIRE_MSG(quality >= 0.0 && quality <= 1.0, "quality must be in [0,1]");
+  path_.push_back({source, created_at});
+}
+
+bool Message::expired(SimTime now) const {
+  if (!ttl_.finite()) return false;
+  return now > created_at_ + ttl_;
+}
+
+bool Message::annotate(Annotation a) {
+  DTNIC_REQUIRE(a.keyword.valid());
+  if (has_keyword(a.keyword)) return false;
+  annotations_.push_back(a);
+  return true;
+}
+
+bool Message::has_keyword(KeywordId k) const {
+  return std::any_of(annotations_.begin(), annotations_.end(),
+                     [k](const Annotation& a) { return a.keyword == k; });
+}
+
+std::vector<KeywordId> Message::keywords() const {
+  std::vector<KeywordId> out;
+  out.reserve(annotations_.size());
+  for (const Annotation& a : annotations_) out.push_back(a.keyword);
+  return out;
+}
+
+std::vector<Annotation> Message::annotations_by(NodeId node) const {
+  std::vector<Annotation> out;
+  for (const Annotation& a : annotations_) {
+    if (a.annotator == node) out.push_back(a);
+  }
+  return out;
+}
+
+bool Message::keyword_is_truthful(KeywordId k) const {
+  return std::find(true_keywords_.begin(), true_keywords_.end(), k) != true_keywords_.end();
+}
+
+std::size_t Message::relay_hop_count() const {
+  DTNIC_ASSERT(!path_.empty());
+  return path_.size() - 1;
+}
+
+void Message::set_property(const std::string& key, double value) {
+  for (auto& [k, v] : properties_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  properties_.emplace_back(key, value);
+}
+
+double Message::property_or(const std::string& key, double dflt) const {
+  for (const auto& [k, v] : properties_) {
+    if (k == key) return v;
+  }
+  return dflt;
+}
+
+bool Message::visited(NodeId node) const {
+  return std::any_of(path_.begin(), path_.end(),
+                     [node](const HopRecord& h) { return h.node == node; });
+}
+
+}  // namespace dtnic::msg

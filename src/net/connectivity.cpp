@@ -1,0 +1,127 @@
+#include "net/connectivity.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::net {
+
+ConnectivityManager::ConnectivityManager(sim::Simulator& sim, const RadioParams& radio,
+                                         util::SimTime scan_interval)
+    : sim_(sim), radio_(radio), scan_interval_(scan_interval), grid_(radio.range_m) {
+  DTNIC_REQUIRE(radio.range_m > 0.0);
+  DTNIC_REQUIRE(scan_interval > util::SimTime::zero());
+}
+
+void ConnectivityManager::add_node(NodeId id, mobility::MobilityModel* mobility) {
+  DTNIC_REQUIRE(id.valid());
+  DTNIC_REQUIRE_MSG(mobility != nullptr, "mobility model required");
+  DTNIC_REQUIRE_MSG(!node_index_.count(id), "node already registered");
+  node_index_.emplace(id, nodes_.size());
+  nodes_.push_back(NodeEntry{id, mobility});
+}
+
+std::uint64_t ConnectivityManager::pair_key(NodeId a, NodeId b) {
+  const auto lo = std::min(a.value(), b.value());
+  const auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void ConnectivityManager::start() {
+  DTNIC_REQUIRE_MSG(!scan_task_.valid(), "already started");
+  scan_task_ = sim_.schedule_every_from(sim_.now(), scan_interval_, [this] { scan(); });
+}
+
+void ConnectivityManager::stop() {
+  if (scan_task_.valid()) {
+    sim_.cancel(scan_task_);
+    scan_task_ = {};
+  }
+}
+
+void ConnectivityManager::scan() {
+  const util::SimTime now = sim_.now();
+  grid_.clear();
+  for (const NodeEntry& node : nodes_) {
+    grid_.insert(node.id, node.mobility->position_at(now));
+  }
+
+  const auto pairs = grid_.pairs_within(radio_.range_m);
+  std::unordered_set<std::uint64_t> in_range;
+  in_range.reserve(pairs.size() * 2);
+
+  for (const SpatialGrid::Pair& p : pairs) {
+    const std::uint64_t key = pair_key(p.a, p.b);
+    in_range.insert(key);
+    if (pair_states_.count(key)) continue;  // already connected or suppressed
+    // Fresh encounter: each endpoint decides whether its radio participates.
+    const bool participates = !gate_ || (gate_(p.a) && gate_(p.b));
+    if (!participates) {
+      pair_states_.emplace(key, PairState::kSuppressed);
+      ++contacts_suppressed_;
+      continue;
+    }
+    pair_states_.emplace(key, PairState::kConnected);
+    adjacency_[p.a].insert(p.b);
+    adjacency_[p.b].insert(p.a);
+    ++contacts_formed_;
+    if (link_up_) link_up_(p.a, p.b, p.distance_m);
+  }
+
+  // Tear down pairs that moved out of range.
+  for (auto it = pair_states_.begin(); it != pair_states_.end();) {
+    if (in_range.count(it->first)) {
+      ++it;
+      continue;
+    }
+    const NodeId a(static_cast<util::NodeId::underlying>(it->first >> 32));
+    const NodeId b(static_cast<util::NodeId::underlying>(it->first & 0xffffffffULL));
+    const bool was_connected = it->second == PairState::kConnected;
+    it = pair_states_.erase(it);
+    if (was_connected) {
+      adjacency_[a].erase(b);
+      adjacency_[b].erase(a);
+      if (link_down_) link_down_(a, b);
+    }
+  }
+}
+
+bool ConnectivityManager::connected(NodeId a, NodeId b) const {
+  auto it = pair_states_.find(pair_key(a, b));
+  return it != pair_states_.end() && it->second == PairState::kConnected;
+}
+
+std::vector<NodeId> ConnectivityManager::neighbors_of(NodeId id) const {
+  auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return {};
+  std::vector<NodeId> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());  // deterministic order across platforms
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> ConnectivityManager::connected_pairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const auto& [key, state] : pair_states_) {
+    if (state != PairState::kConnected) continue;
+    out.emplace_back(NodeId(static_cast<util::NodeId::underlying>(key >> 32)),
+                     NodeId(static_cast<util::NodeId::underlying>(key & 0xffffffffULL)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ConnectivityManager::active_links() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : pair_states_) {
+    if (state == PairState::kConnected) ++n;
+  }
+  return n;
+}
+
+util::Vec2 ConnectivityManager::position_of(NodeId id) {
+  auto it = node_index_.find(id);
+  DTNIC_REQUIRE_MSG(it != node_index_.end(), "unknown node");
+  return nodes_[it->second].mobility->position_at(sim_.now());
+}
+
+}  // namespace dtnic::net

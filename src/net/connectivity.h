@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "net/contact_source.h"
+#include "net/radio.h"
+#include "net/spatial_grid.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+
+/// \file connectivity.h
+/// Contact detection. Positions are sampled every scan interval; a pair of
+/// nodes within radio range forms a contact (link up) and loses it when the
+/// range is exceeded (link down). A participation gate is consulted once per
+/// fresh encounter per node — this is how selfish nodes "switch off the
+/// communication medium" (paper §5.A: the radio is open 1 of 10 encounters).
+
+namespace dtnic::net {
+
+using util::NodeId;
+
+class ConnectivityManager final : public ContactSource {
+ public:
+  ConnectivityManager(sim::Simulator& sim, const RadioParams& radio,
+                      util::SimTime scan_interval);
+
+  /// Register a node; \p mobility must outlive the manager.
+  void add_node(NodeId id, mobility::MobilityModel* mobility);
+
+  void on_link_up(LinkUpFn fn) override { link_up_ = std::move(fn); }
+  void on_link_down(LinkDownFn fn) override { link_down_ = std::move(fn); }
+  void set_participation_gate(ParticipationGate gate) override { gate_ = std::move(gate); }
+
+  /// Begin periodic scanning (first scan at the current time).
+  void start() override;
+  void stop();
+
+  /// Run a single scan immediately (also used by tests).
+  void scan();
+
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id) const override;
+  /// All currently connected pairs, sorted (deterministic iteration).
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> connected_pairs() const override;
+  [[nodiscard]] std::size_t active_links() const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Position of a node at the current simulation time.
+  [[nodiscard]] util::Vec2 position_of(NodeId id);
+
+  /// Total contacts formed so far (suppressed encounters excluded).
+  [[nodiscard]] std::uint64_t contacts_formed() const override { return contacts_formed_; }
+  /// Encounters suppressed by the participation gate.
+  [[nodiscard]] std::uint64_t contacts_suppressed() const override {
+    return contacts_suppressed_;
+  }
+
+ private:
+  enum class PairState { kConnected, kSuppressed };
+
+  static std::uint64_t pair_key(NodeId a, NodeId b);
+
+  sim::Simulator& sim_;
+  RadioParams radio_;
+  util::SimTime scan_interval_;
+  sim::EventId scan_task_{};
+
+  struct NodeEntry {
+    NodeId id;
+    mobility::MobilityModel* mobility;
+  };
+  std::vector<NodeEntry> nodes_;
+  std::unordered_map<NodeId, std::size_t> node_index_;
+
+  SpatialGrid grid_;
+  std::unordered_map<std::uint64_t, PairState> pair_states_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> adjacency_;
+
+  LinkUpFn link_up_;
+  LinkDownFn link_down_;
+  ParticipationGate gate_;
+
+  std::uint64_t contacts_formed_ = 0;
+  std::uint64_t contacts_suppressed_ = 0;
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/ids.h"
+
+/// \file contact_source.h
+/// Where contacts come from. The mobility-driven ConnectivityManager and the
+/// trace-driven ScriptedConnectivity both feed the contact controller
+/// through this interface, so experiments can run on synthetic mobility or
+/// on recorded contact traces interchangeably.
+
+namespace dtnic::net {
+
+class ContactSource {
+ public:
+  using LinkUpFn = std::function<void(util::NodeId, util::NodeId, double distance_m)>;
+  using LinkDownFn = std::function<void(util::NodeId, util::NodeId)>;
+  /// Per-encounter participation; return false to suppress the contact.
+  using ParticipationGate = std::function<bool(util::NodeId)>;
+
+  virtual ~ContactSource() = default;
+
+  virtual void on_link_up(LinkUpFn fn) = 0;
+  virtual void on_link_down(LinkDownFn fn) = 0;
+  virtual void set_participation_gate(ParticipationGate gate) = 0;
+
+  /// Begin producing contact events on the simulator clock.
+  virtual void start() = 0;
+
+  [[nodiscard]] virtual std::vector<util::NodeId> neighbors_of(util::NodeId id) const = 0;
+  [[nodiscard]] virtual std::vector<std::pair<util::NodeId, util::NodeId>> connected_pairs()
+      const = 0;
+  [[nodiscard]] virtual std::uint64_t contacts_formed() const = 0;
+  [[nodiscard]] virtual std::uint64_t contacts_suppressed() const = 0;
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,52 @@
+#include "net/contact_trace.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::net {
+
+std::uint64_t ContactTrace::pair_key(util::NodeId a, util::NodeId b) {
+  const auto lo = std::min(a.value(), b.value());
+  const auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void ContactTrace::record_up(util::NodeId a, util::NodeId b, util::SimTime at) {
+  open_[pair_key(a, b)] = at;
+}
+
+void ContactTrace::record_down(util::NodeId a, util::NodeId b, util::SimTime at) {
+  const std::uint64_t key = pair_key(a, b);
+  auto it = open_.find(key);
+  if (it == open_.end()) return;  // down without up: ignore (gated contact)
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  contacts_.push_back(Contact{lo, hi, it->second, at});
+  open_.erase(it);
+}
+
+void ContactTrace::finalize(util::SimTime end) {
+  for (const auto& [key, up] : open_) {
+    const util::NodeId a(static_cast<util::NodeId::underlying>(key >> 32));
+    const util::NodeId b(static_cast<util::NodeId::underlying>(key & 0xffffffffULL));
+    contacts_.push_back(Contact{a, b, up, end});
+  }
+  open_.clear();
+  std::sort(contacts_.begin(), contacts_.end(), [](const Contact& x, const Contact& y) {
+    return x.up < y.up;
+  });
+}
+
+double ContactTrace::mean_duration_s() const {
+  if (contacts_.empty()) return 0.0;
+  return total_contact_time_s() / static_cast<double>(contacts_.size());
+}
+
+double ContactTrace::total_contact_time_s() const {
+  double total = 0.0;
+  for (const Contact& c : contacts_) total += c.duration().sec();
+  return total;
+}
+
+}  // namespace dtnic::net

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+/// \file contact_trace.h
+/// Records contact (link up/down) events for post-run analysis: contact
+/// counts, durations, and inter-contact times feed the EXPERIMENTS.md sanity
+/// checks that our mobility substrate produces ONE-like contact dynamics.
+
+namespace dtnic::net {
+
+class ContactTrace {
+ public:
+  void record_up(util::NodeId a, util::NodeId b, util::SimTime at);
+  void record_down(util::NodeId a, util::NodeId b, util::SimTime at);
+  /// Close any still-open contacts at simulation end so durations are valid.
+  void finalize(util::SimTime end);
+
+  struct Contact {
+    util::NodeId a;
+    util::NodeId b;
+    util::SimTime up;
+    util::SimTime down;
+    [[nodiscard]] util::SimTime duration() const { return down - up; }
+  };
+
+  [[nodiscard]] const std::vector<Contact>& contacts() const { return contacts_; }
+  [[nodiscard]] std::size_t count() const { return contacts_.size(); }
+  [[nodiscard]] double mean_duration_s() const;
+  [[nodiscard]] double total_contact_time_s() const;
+
+ private:
+  static std::uint64_t pair_key(util::NodeId a, util::NodeId b);
+
+  std::unordered_map<std::uint64_t, util::SimTime> open_;
+  std::vector<Contact> contacts_;
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,51 @@
+#include "net/energy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace dtnic::net {
+
+double FriisModel::path_loss(double distance_m, double wavelength_m) {
+  DTNIC_REQUIRE_MSG(wavelength_m > 0.0, "wavelength must be positive");
+  DTNIC_REQUIRE_MSG(distance_m >= 0.0, "distance must be non-negative");
+  const double r = std::max(distance_m, wavelength_m);  // near-field floor
+  const double ratio = 4.0 * std::numbers::pi * r / wavelength_m;
+  return ratio * ratio;
+}
+
+double FriisModel::received_power(double tx_power_w, double distance_m, double wavelength_m) {
+  DTNIC_REQUIRE_MSG(tx_power_w >= 0.0, "tx power must be non-negative");
+  return tx_power_w / path_loss(distance_m, wavelength_m);
+}
+
+Battery::Battery(double capacity_j) : capacity_j_(capacity_j) {
+  DTNIC_REQUIRE_MSG(capacity_j > 0.0, "battery capacity must be positive");
+}
+
+void Battery::reset(double capacity_j) {
+  DTNIC_REQUIRE_MSG(capacity_j > 0.0, "battery capacity must be positive");
+  capacity_j_ = capacity_j;
+  consumed_j_ = 0.0;
+}
+
+void Battery::consume(double joules) {
+  DTNIC_REQUIRE_MSG(joules >= 0.0, "cannot consume negative energy");
+  consumed_j_ += joules;
+}
+
+void Battery::consume_tx(const RadioParams& radio, util::SimTime duration) {
+  consume(radio.tx_power_w * duration.sec());
+}
+
+void Battery::consume_rx(const RadioParams& radio, util::SimTime duration) {
+  consume(radio.rx_circuit_power_w * duration.sec());
+}
+
+double Battery::remaining_j() const { return std::max(0.0, capacity_j_ - consumed_j_); }
+
+double Battery::level() const { return remaining_j() / capacity_j_; }
+
+}  // namespace dtnic::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "net/radio.h"
+#include "util/sim_time.h"
+
+/// \file energy.h
+/// Friis free-space propagation model and per-node battery accounting.
+///
+/// The paper's hardware incentive factor (§3.2) is a function of transmit
+/// power P_t and the Friis received power P_r = P_t / L_v with path loss
+/// L_v = (4πR/λ)². FriisModel computes those quantities; Battery tracks the
+/// realistic device-side energy drain used by RELICS-style energy stats.
+
+namespace dtnic::net {
+
+struct FriisModel {
+  /// Free-space path loss L_v = (4πR/λ)²; distance 0 is clamped to a
+  /// near-field floor of one wavelength so the loss never drops below 1.
+  [[nodiscard]] static double path_loss(double distance_m, double wavelength_m);
+
+  /// Received signal power P_r = P_t / L_v (watts).
+  [[nodiscard]] static double received_power(double tx_power_w, double distance_m,
+                                             double wavelength_m);
+};
+
+/// Per-node battery. Consumption is tracked in joules; a depleted battery is
+/// reported but does not halt the node unless the scenario chooses to act on
+/// it (the paper treats energy as an incentive input, not a hard cutoff).
+class Battery {
+ public:
+  explicit Battery(double capacity_j = 20'000.0);
+
+  /// Re-initialize with a new capacity, clearing consumption (scenario
+  /// setup; batteries are value members of their hosts).
+  void reset(double capacity_j);
+
+  void consume(double joules);
+  void consume_tx(const RadioParams& radio, util::SimTime duration);
+  void consume_rx(const RadioParams& radio, util::SimTime duration);
+
+  [[nodiscard]] double capacity_j() const { return capacity_j_; }
+  [[nodiscard]] double consumed_j() const { return consumed_j_; }
+  [[nodiscard]] double remaining_j() const;
+  [[nodiscard]] bool depleted() const { return consumed_j_ >= capacity_j_; }
+  /// Fraction remaining in [0,1].
+  [[nodiscard]] double level() const;
+
+ private:
+  double capacity_j_;
+  double consumed_j_ = 0.0;
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file radio.h
+/// Radio interface parameters shared by connectivity detection, transfer
+/// timing, and the Friis energy model. Defaults follow Table 5.1 of the
+/// paper (100 m range, 250 kBps transmission speed).
+
+namespace dtnic::net {
+
+struct RadioParams {
+  double range_m = 100.0;          ///< communication radius (Table 5.1)
+  double bitrate_bps = 250'000.0;  ///< transfer speed in bytes/second (Table 5.1)
+  double tx_power_w = 0.1;         ///< transmit power P_t for the Friis formulas
+  double wavelength_m = 0.125;     ///< carrier wavelength λ (~2.4 GHz)
+  double rx_circuit_power_w = 0.05;  ///< device-side receive electronics draw
+                                     ///< (battery accounting only; the paper's
+                                     ///< incentive formula uses Friis P_r)
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,158 @@
+#include "net/scripted_contacts.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace dtnic::net {
+
+using util::NodeId;
+using util::SimTime;
+
+ScriptedConnectivity::ScriptedConnectivity(sim::Simulator& sim,
+                                           std::vector<ContactEvent> events)
+    : sim_(sim), events_(std::move(events)) {
+  NodeId::underlying max_value = 0;
+  bool any = false;
+  for (const ContactEvent& e : events_) {
+    DTNIC_REQUIRE_MSG(e.a.valid() && e.b.valid(), "contact endpoints must be valid");
+    DTNIC_REQUIRE_MSG(e.a != e.b, "a node cannot contact itself");
+    DTNIC_REQUIRE_MSG(e.up < e.down, "contact must end after it begins");
+    DTNIC_REQUIRE_MSG(e.distance_m >= 0.0, "distance must be non-negative");
+    max_value = std::max({max_value, e.a.value(), e.b.value()});
+    any = true;
+  }
+  if (any) max_node_ = NodeId(max_value);
+}
+
+std::uint64_t ScriptedConnectivity::pair_key(NodeId a, NodeId b) {
+  const auto lo = std::min(a.value(), b.value());
+  const auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void ScriptedConnectivity::start() {
+  DTNIC_REQUIRE_MSG(!started_, "already started");
+  started_ = true;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    DTNIC_REQUIRE_MSG(events_[i].up >= sim_.now(), "trace event in the past");
+    (void)sim_.schedule_at(events_[i].up, [this, i] { begin_contact(i); });
+    (void)sim_.schedule_at(events_[i].down, [this, i] { end_contact(i); });
+  }
+}
+
+void ScriptedConnectivity::begin_contact(std::size_t index) {
+  const ContactEvent& e = events_[index];
+  const std::uint64_t key = pair_key(e.a, e.b);
+  int& count = up_count_[key];
+  ++count;
+  if (count > 1) return;  // overlapping script entries: already up
+  const bool participates = !gate_ || (gate_(e.a) && gate_(e.b));
+  if (!participates) {
+    suppressed_.insert(key);
+    ++contacts_suppressed_;
+    return;
+  }
+  adjacency_[e.a].insert(e.b);
+  adjacency_[e.b].insert(e.a);
+  ++contacts_formed_;
+  if (link_up_) link_up_(e.a, e.b, e.distance_m);
+}
+
+void ScriptedConnectivity::end_contact(std::size_t index) {
+  const ContactEvent& e = events_[index];
+  const std::uint64_t key = pair_key(e.a, e.b);
+  auto it = up_count_.find(key);
+  DTNIC_ASSERT(it != up_count_.end() && it->second > 0);
+  if (--it->second > 0) return;  // another overlapping entry keeps it up
+  up_count_.erase(it);
+  if (suppressed_.erase(key) > 0) return;  // was gated: nothing to tear down
+  adjacency_[e.a].erase(e.b);
+  adjacency_[e.b].erase(e.a);
+  if (link_down_) link_down_(e.a, e.b);
+}
+
+std::vector<NodeId> ScriptedConnectivity::neighbors_of(NodeId id) const {
+  auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return {};
+  std::vector<NodeId> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> ScriptedConnectivity::connected_pairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const auto& [key, count] : up_count_) {
+    if (count <= 0 || suppressed_.count(key)) continue;
+    out.emplace_back(NodeId(static_cast<NodeId::underlying>(key >> 32)),
+                     NodeId(static_cast<NodeId::underlying>(key & 0xffffffffULL)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ContactEvent> ScriptedConnectivity::parse(std::istream& in) {
+  std::vector<ContactEvent> events;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::string entry = util::trim(line);
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    double up_s = 0.0;
+    double down_s = 0.0;
+    long long a = 0;
+    long long b = 0;
+    if (!(fields >> up_s >> down_s >> a >> b) || a < 0 || b < 0) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": expected 'up_s down_s node_a node_b [distance_m]'");
+    }
+    ContactEvent e;
+    e.up = SimTime::seconds(up_s);
+    e.down = SimTime::seconds(down_s);
+    e.a = NodeId(static_cast<NodeId::underlying>(a));
+    e.b = NodeId(static_cast<NodeId::underlying>(b));
+    double distance = 0.0;
+    if (fields >> distance) e.distance_m = distance;
+    if (e.up >= e.down) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": contact must end after it begins");
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<ContactEvent> ScriptedConnectivity::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open contact trace: " + path);
+  return parse(in);
+}
+
+void ScriptedConnectivity::serialize(std::ostream& os,
+                                     const std::vector<ContactEvent>& events) {
+  os << "# up_s down_s node_a node_b distance_m\n";
+  for (const ContactEvent& e : events) {
+    os << e.up.sec() << " " << e.down.sec() << " " << e.a.value() << " " << e.b.value()
+       << " " << e.distance_m << "\n";
+  }
+}
+
+std::vector<ContactEvent> ScriptedConnectivity::from_trace(const ContactTrace& trace) {
+  std::vector<ContactEvent> events;
+  events.reserve(trace.count());
+  for (const ContactTrace::Contact& c : trace.contacts()) {
+    if (!(c.up < c.down)) continue;  // zero-length contacts are unplayable
+    events.push_back(ContactEvent{c.up, c.down, c.a, c.b});
+  }
+  return events;
+}
+
+}  // namespace dtnic::net

@@ -1,0 +1,92 @@
+#include "net/spatial_grid.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dtnic::net {
+
+SpatialGrid::SpatialGrid(double cell_size) : cell_size_(cell_size) {
+  DTNIC_REQUIRE_MSG(cell_size > 0.0, "cell size must be positive");
+}
+
+void SpatialGrid::clear() {
+  // Keep bucket memory to avoid re-allocating every scan.
+  for (auto& [key, items] : cells_) items.clear();
+  count_ = 0;
+}
+
+std::int64_t SpatialGrid::cell_key(double x, double y) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(y / cell_size_));
+  // Interleave into one key; 2^20 cells per axis is ample for any scenario.
+  return (cx << 24) ^ (cy & 0xffffff);
+}
+
+void SpatialGrid::insert(util::NodeId id, util::Vec2 position) {
+  DTNIC_REQUIRE(id.valid());
+  cells_[cell_key(position.x, position.y)].push_back(Item{id, position});
+  ++count_;
+}
+
+std::vector<util::NodeId> SpatialGrid::neighbors_of(util::Vec2 center, double radius,
+                                                    util::NodeId self) const {
+  std::vector<util::NodeId> out;
+  const double r2 = radius * radius;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(
+          cell_key(center.x + dx * cell_size_, center.y + dy * cell_size_));
+      if (it == cells_.end()) continue;
+      for (const Item& item : it->second) {
+        if (item.id == self) continue;
+        if (util::distance_sq(center, item.position) <= r2) out.push_back(item.id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SpatialGrid::Pair> SpatialGrid::pairs_within(double radius) const {
+  DTNIC_REQUIRE_MSG(radius <= cell_size_, "query radius exceeds grid cell size");
+  std::vector<Pair> out;
+  const double r2 = radius * radius;
+  for (const auto& [key, items] : cells_) {
+    if (items.empty()) continue;
+    // In-cell pairs.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        const double d2 = util::distance_sq(items[i].position, items[j].position);
+        if (d2 <= r2) {
+          const auto lo = std::min(items[i].id, items[j].id);
+          const auto hi = std::max(items[i].id, items[j].id);
+          out.push_back(Pair{lo, hi, std::sqrt(d2)});
+        }
+      }
+    }
+    // Cross-cell pairs: visit half of the 8 neighbors so each unordered cell
+    // pair is examined exactly once. Reconstruct this cell's coordinates from
+    // one member's position.
+    const double bx = std::floor(items.front().position.x / cell_size_);
+    const double by = std::floor(items.front().position.y / cell_size_);
+    static constexpr int kHalfNeighborhood[4][2] = {{1, 0}, {1, 1}, {0, 1}, {-1, 1}};
+    for (const auto& d : kHalfNeighborhood) {
+      const auto it = cells_.find(cell_key((bx + d[0]) * cell_size_ + cell_size_ * 0.5,
+                                           (by + d[1]) * cell_size_ + cell_size_ * 0.5));
+      if (it == cells_.end()) continue;
+      for (const Item& mine : items) {
+        for (const Item& theirs : it->second) {
+          const double d2 = util::distance_sq(mine.position, theirs.position);
+          if (d2 <= r2) {
+            const auto lo = std::min(mine.id, theirs.id);
+            const auto hi = std::max(mine.id, theirs.id);
+            out.push_back(Pair{lo, hi, std::sqrt(d2)});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dtnic::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/vec2.h"
+
+/// \file spatial_grid.h
+/// Uniform-grid spatial index for range queries. The connectivity scanner
+/// rebuilds it each scan (cheap: one hash insert per node) and asks for all
+/// pairs within radio range; cell size equals the query radius so only the
+/// 3x3 neighborhood must be examined.
+
+namespace dtnic::net {
+
+class SpatialGrid {
+ public:
+  /// \p cell_size should equal the query radius for the 3x3 guarantee.
+  explicit SpatialGrid(double cell_size);
+
+  void clear();
+  void insert(util::NodeId id, util::Vec2 position);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// All ids strictly within \p radius of \p center (excluding \p self).
+  [[nodiscard]] std::vector<util::NodeId> neighbors_of(util::Vec2 center, double radius,
+                                                       util::NodeId self) const;
+
+  /// All unordered pairs (a, b) with a < b and distance(a, b) <= radius.
+  /// \p radius must be <= cell_size.
+  struct Pair {
+    util::NodeId a;
+    util::NodeId b;
+    double distance_m;
+  };
+  [[nodiscard]] std::vector<Pair> pairs_within(double radius) const;
+
+ private:
+  struct Item {
+    util::NodeId id;
+    util::Vec2 position;
+  };
+
+  [[nodiscard]] std::int64_t cell_key(double x, double y) const;
+
+  double cell_size_;
+  std::size_t count_ = 0;
+  std::unordered_map<std::int64_t, std::vector<Item>> cells_;
+};
+
+}  // namespace dtnic::net

@@ -1,0 +1,76 @@
+#include "net/transfer.h"
+
+#include "util/assert.h"
+
+namespace dtnic::net {
+
+TransferManager::TransferManager(sim::Simulator& sim, double bitrate_bps)
+    : sim_(sim), bitrate_bps_(bitrate_bps) {
+  DTNIC_REQUIRE_MSG(bitrate_bps > 0.0, "bitrate must be positive");
+}
+
+std::uint64_t TransferManager::pair_key(NodeId a, NodeId b) {
+  const auto lo = std::min(a.value(), b.value());
+  const auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void TransferManager::link_up(NodeId a, NodeId b) {
+  links_.emplace(pair_key(a, b), LinkState{});
+}
+
+void TransferManager::link_down(NodeId a, NodeId b) {
+  auto it = links_.find(pair_key(a, b));
+  if (it == links_.end()) return;
+  if (it->second.in_flight) {
+    InFlight flight = std::move(*it->second.in_flight);
+    it->second.in_flight.reset();
+    sim_.cancel(flight.completion);
+    ++aborted_;
+    links_.erase(it);
+    if (abort_) abort_(flight.transfer);
+    return;
+  }
+  links_.erase(it);
+}
+
+bool TransferManager::link_exists(NodeId a, NodeId b) const {
+  return links_.count(pair_key(a, b)) > 0;
+}
+
+bool TransferManager::link_busy(NodeId a, NodeId b) const {
+  auto it = links_.find(pair_key(a, b));
+  return it != links_.end() && it->second.in_flight.has_value();
+}
+
+util::SimTime TransferManager::duration_for(std::uint64_t bytes) const {
+  return util::SimTime::seconds(static_cast<double>(bytes) / bitrate_bps_);
+}
+
+bool TransferManager::start(NodeId from, NodeId to, MessageId message, std::uint64_t bytes) {
+  DTNIC_REQUIRE(from.valid() && to.valid() && message.valid());
+  DTNIC_REQUIRE_MSG(bytes > 0, "cannot transfer zero bytes");
+  const std::uint64_t key = pair_key(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end() || it->second.in_flight) return false;
+
+  const util::SimTime duration = duration_for(bytes);
+  InFlight flight;
+  flight.transfer = Transfer{from, to, message, bytes, sim_.now()};
+  flight.completion = sim_.schedule_in(duration, [this, key] { finish(key); });
+  it->second.in_flight = std::move(flight);
+  ++started_;
+  return true;
+}
+
+void TransferManager::finish(std::uint64_t key) {
+  auto it = links_.find(key);
+  DTNIC_ASSERT(it != links_.end() && it->second.in_flight.has_value());
+  const Transfer transfer = it->second.in_flight->transfer;
+  it->second.in_flight.reset();
+  ++completed_;
+  bytes_delivered_ += transfer.bytes;
+  if (complete_) complete_(transfer, sim_.now() - transfer.started);
+}
+
+}  // namespace dtnic::net

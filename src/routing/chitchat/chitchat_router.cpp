@@ -1,0 +1,69 @@
+#include "routing/chitchat/chitchat_router.h"
+
+namespace dtnic::routing {
+
+ChitChatRouter::ChitChatRouter(const DestinationOracle& oracle,
+                               const chitchat::ChitChatParams& params,
+                               util::SimTime contact_quantum)
+    : Router(oracle), params_(params), table_(params), contact_quantum_(contact_quantum) {}
+
+void ChitChatRouter::set_direct_interests(const std::vector<msg::KeywordId>& interests,
+                                          util::SimTime now) {
+  for (msg::KeywordId k : interests) table_.add_direct(k, now);
+}
+
+ChitChatRouter* ChitChatRouter::of(Host& host) {
+  if (!host.has_router()) return nullptr;
+  return dynamic_cast<ChitChatRouter*>(&host.router());
+}
+
+void ChitChatRouter::pre_exchange(Host& self, util::SimTime now,
+                                  std::span<Host* const> neighbors) {
+  (void)self;
+  // An interest does not decay while some currently connected device shares
+  // it (Algorithm 1's "device with I is connected" branch).
+  table_.decay(now, [&neighbors](msg::KeywordId k) {
+    for (Host* neighbor : neighbors) {
+      ChitChatRouter* other = ChitChatRouter::of(*neighbor);
+      if (other != nullptr && other->table_.has(k)) return true;
+    }
+    return false;
+  });
+}
+
+void ChitChatRouter::on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) {
+  (void)self; (void)distance_m;
+  ChitChatRouter* other = ChitChatRouter::of(peer);
+  if (other == nullptr) return;
+  table_.grow_from(other->table_, now, contact_quantum_.sec());
+  for (const auto& entry : other->table_.entries()) {
+    table_.note_seen(entry.keyword, now);
+  }
+}
+
+double ChitChatRouter::message_strength(const msg::Message& m) const {
+  return table_.sum_weights(m.keywords());
+}
+
+std::vector<ForwardPlan> ChitChatRouter::plan(Host& self, Host& peer, util::SimTime now) {
+  (void)now;
+  std::vector<ForwardPlan> plans;
+  ChitChatRouter* other = ChitChatRouter::of(peer);
+  for (const msg::Message* m : self.buffer().messages()) {
+    if (peer.has_seen(m->id())) continue;
+    if (oracle().is_destination(peer.id(), *m)) {
+      plans.push_back(ForwardPlan{m->id(), TransferRole::kDestination});
+      continue;
+    }
+    if (other == nullptr) continue;
+    const double s_u = message_strength(*m);
+    const double s_v = other->message_strength(*m);
+    if (s_v > s_u + params_.forward_margin) {
+      plans.push_back(ForwardPlan{m->id(), TransferRole::kRelay});
+    }
+  }
+  (void)self;
+  return plans;
+}
+
+}  // namespace dtnic::routing

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "routing/chitchat/interest_table.h"
+#include "routing/router.h"
+
+/// \file chitchat_router.h
+/// ChitChat routing (McGeehan, Lin & Madria, ICDCS 2016), the substrate the
+/// paper's incentive scheme is built on. Per contact:
+///   1. both sides decay their interest weights (Algorithm 1),
+///   2. the decayed tables are exchanged,
+///   3. both sides grow from the peer's table (Algorithm 2),
+///   4. message routing: a message is handed to the peer as a *destination*
+///      when the peer holds a direct interest in one of its keywords, and as
+///      a *relay* when the peer's summed interest weight for the message
+///      exceeds the sender's (S_v > S_u).
+
+namespace dtnic::routing {
+
+class ChitChatRouter : public Router {
+ public:
+  ChitChatRouter(const DestinationOracle& oracle, const chitchat::ChitChatParams& params,
+                 util::SimTime contact_quantum);
+
+  /// Seed the user's direct interests (subscription keywords).
+  void set_direct_interests(const std::vector<msg::KeywordId>& interests, util::SimTime now);
+
+  [[nodiscard]] chitchat::InterestTable& interests() { return table_; }
+  [[nodiscard]] const chitchat::InterestTable& interests() const { return table_; }
+
+  /// The ChitChatRouter attached to a host, or nullptr if the host runs a
+  /// different (or no) routing scheme.
+  [[nodiscard]] static ChitChatRouter* of(Host& host);
+
+  void pre_exchange(Host& self, util::SimTime now,
+                    std::span<Host* const> neighbors) override;
+  void on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) override;
+  [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
+                                              util::SimTime now) override;
+
+  /// Sum of this node's interest weights over the message's keywords (S_u).
+  [[nodiscard]] double message_strength(const msg::Message& m) const;
+
+ protected:
+  chitchat::ChitChatParams params_;
+  chitchat::InterestTable table_;
+  util::SimTime contact_quantum_;
+};
+
+}  // namespace dtnic::routing

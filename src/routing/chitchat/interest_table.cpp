@@ -1,0 +1,105 @@
+#include "routing/chitchat/interest_table.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dtnic::routing::chitchat {
+
+void InterestTable::add_direct(KeywordId k, SimTime now) {
+  DTNIC_REQUIRE(k.valid());
+  Slot& slot = slots_[k];
+  slot.direct = true;
+  slot.weight = std::max(slot.weight, params_.initial_weight);
+  slot.last_seen_s = now.sec();
+}
+
+bool InterestTable::has_direct(KeywordId k) const {
+  auto it = slots_.find(k);
+  return it != slots_.end() && it->second.direct;
+}
+
+double InterestTable::weight(KeywordId k) const {
+  auto it = slots_.find(k);
+  return it != slots_.end() ? it->second.weight : 0.0;
+}
+
+double InterestTable::sum_weights(const std::vector<KeywordId>& keywords) const {
+  double sum = 0.0;
+  for (KeywordId k : keywords) sum += weight(k);
+  return sum;
+}
+
+double InterestTable::mean_weight(const std::vector<KeywordId>& keywords) const {
+  if (keywords.empty()) return 0.0;
+  return sum_weights(keywords) / static_cast<double>(keywords.size());
+}
+
+void InterestTable::decay(SimTime now, const std::function<bool(KeywordId)>& connected_has) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    Slot& slot = it->second;
+    if (connected_has && connected_has(it->first)) {
+      // A connected device shares I: the weight holds and T_l refreshes.
+      slot.last_seen_s = now.sec();
+      ++it;
+      continue;
+    }
+    const double dt = now.sec() - slot.last_seen_s;
+    // Divisor floored at 1 so decay never amplifies a weight (Algorithm 1
+    // divides by β·(T_c − T_l), which would amplify for small gaps).
+    const double divisor = std::max(1.0, params_.decay_beta * dt);
+    if (slot.direct) {
+      slot.weight = (slot.weight - 0.5) / divisor + 0.5;
+    } else {
+      slot.weight = slot.weight / divisor;
+    }
+    slot.last_seen_s = now.sec();  // decay applied up to `now`
+    if (!slot.direct && slot.weight < params_.prune_epsilon) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int InterestTable::psi(bool self_has, bool self_direct, bool peer_direct) {
+  if (self_has && self_direct) return peer_direct ? 1 : 2;
+  if (self_has) return peer_direct ? 3 : 4;  // self transient
+  return peer_direct ? 5 : 6;                // acquisition
+}
+
+void InterestTable::grow_from(const InterestTable& peer, SimTime now, double contact_quantum_s) {
+  DTNIC_REQUIRE(contact_quantum_s >= 0.0);
+  const double quantum = std::min(contact_quantum_s, params_.growth_contact_cap_s);
+  for (const auto& [keyword, peer_slot] : peer.slots_) {
+    if (peer_slot.weight <= 0.0) continue;
+    const auto it = slots_.find(keyword);
+    const bool self_has = it != slots_.end();
+    const bool self_direct = self_has && it->second.direct;
+    const int divisor = psi(self_has, self_direct, peer_slot.direct);
+    const double delta = params_.growth_rate * peer_slot.weight * quantum /
+                         static_cast<double>(divisor);
+    if (delta <= 0.0) continue;
+    Slot& slot = slots_[keyword];  // inserts transient slot if absent
+    slot.weight = std::min(params_.max_weight, slot.weight + delta);
+    slot.last_seen_s = now.sec();
+  }
+}
+
+void InterestTable::note_seen(KeywordId k, SimTime now) {
+  auto it = slots_.find(k);
+  if (it != slots_.end()) it->second.last_seen_s = now.sec();
+}
+
+std::vector<InterestTable::Entry> InterestTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& [keyword, slot] : slots_) {
+    out.push_back(Entry{keyword, slot.weight, slot.direct, SimTime::seconds(slot.last_seen_s)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.keyword < b.keyword; });
+  return out;
+}
+
+}  // namespace dtnic::routing::chitchat

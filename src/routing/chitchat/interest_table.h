@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "msg/message.h"
+#include "util/sim_time.h"
+
+/// \file interest_table.h
+/// ChitChat's Real-time Transient Social Relationship (RTSR) state: every
+/// interest keyword carries a weight in [0, 1]. Direct interests are defined
+/// by the user (weight starts at 0.5 and decays toward 0.5); transient
+/// interests are acquired from encountered devices (decay toward 0). The
+/// decay/growth algorithms follow Paper I §2.3; calibration constants and
+/// the contact-quantum interpretation are documented in DESIGN.md §5.
+
+namespace dtnic::routing::chitchat {
+
+using msg::KeywordId;
+using util::SimTime;
+
+struct ChitChatParams {
+  double initial_weight = 0.5;  ///< weight of a freshly defined direct interest
+  double max_weight = 1.0;      ///< cap from the growth algorithm
+  /// Decay constant β [1/s]. The thesis' worked example uses β=2, which
+  /// erases transient interests within seconds; we default to 0.01 so
+  /// transient relationships persist on the inter-contact timescale
+  /// (DESIGN.md §5.2 records this calibration).
+  double decay_beta = 0.01;
+  /// Growth rate γ [1/s]: Δ = γ · w_v(I) · quantum / ψ per exchange.
+  double growth_rate = 0.02;
+  /// Cap on the contact quantum credited per exchange, seconds.
+  double growth_contact_cap_s = 10.0;
+  /// Transient entries whose weight falls below this are forgotten.
+  double prune_epsilon = 1e-3;
+  /// Relay handoff needs S_v > S_u + this margin (0 = strict inequality).
+  double forward_margin = 0.0;
+};
+
+class InterestTable {
+ public:
+  explicit InterestTable(const ChitChatParams& params) : params_(params) {}
+
+  /// Define a direct (self-chosen) interest; weight starts at 0.5.
+  void add_direct(KeywordId k, SimTime now);
+
+  [[nodiscard]] bool has(KeywordId k) const { return slots_.count(k) > 0; }
+  [[nodiscard]] bool has_direct(KeywordId k) const;
+  /// Weight of \p k; 0 if unknown.
+  [[nodiscard]] double weight(KeywordId k) const;
+  [[nodiscard]] double sum_weights(const std::vector<KeywordId>& keywords) const;
+  /// Mean weight over \p keywords (0 for an empty list).
+  [[nodiscard]] double mean_weight(const std::vector<KeywordId>& keywords) const;
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Decay phase. \p connected_has(I) reports whether some *currently
+  /// connected* device shares interest I — such interests do not decay and
+  /// their last-seen timestamp refreshes (Algorithm 1).
+  void decay(SimTime now, const std::function<bool(KeywordId)>& connected_has);
+
+  /// Growth phase: absorb the peer's (already decayed) interests
+  /// (Algorithm 2). \p contact_quantum_s is the capped contact-time credit
+  /// for this exchange. Unknown interests are acquired as transient.
+  void grow_from(const InterestTable& peer, SimTime now, double contact_quantum_s);
+
+  /// Record that a connected device shares interest \p k at \p now.
+  void note_seen(KeywordId k, SimTime now);
+
+  struct Entry {
+    KeywordId keyword;
+    double weight = 0.0;
+    bool direct = false;
+    SimTime last_seen;
+  };
+  /// Snapshot sorted by keyword id (deterministic iteration for tests).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  [[nodiscard]] const ChitChatParams& params() const { return params_; }
+
+ private:
+  struct Slot {
+    double weight = 0.0;
+    bool direct = false;
+    double last_seen_s = 0.0;  ///< T_l: last time a device with I was connected
+  };
+
+  /// ψ of Algorithm 2 for the six direct/transient/absent combinations.
+  [[nodiscard]] static int psi(bool self_has, bool self_direct, bool peer_direct);
+
+  ChitChatParams params_;
+  std::unordered_map<KeywordId, Slot> slots_;
+};
+
+}  // namespace dtnic::routing::chitchat

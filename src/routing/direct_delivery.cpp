@@ -1,0 +1,17 @@
+#include "routing/direct_delivery.h"
+
+namespace dtnic::routing {
+
+std::vector<ForwardPlan> DirectDeliveryRouter::plan(Host& self, Host& peer,
+                                                    util::SimTime now) {
+  (void)now;
+  std::vector<ForwardPlan> plans;
+  for (const msg::Message* m : self.buffer().messages()) {
+    if (peer.has_seen(m->id())) continue;
+    if (!oracle().is_destination(peer.id(), *m)) continue;
+    plans.push_back(ForwardPlan{m->id(), TransferRole::kDestination});
+  }
+  return plans;
+}
+
+}  // namespace dtnic::routing

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "routing/router.h"
+
+/// \file direct_delivery.h
+/// Direct-contact routing: a message leaves its source only when the source
+/// meets a destination. Minimal overhead, minimal delivery ratio — the lower
+/// baseline of §1.1.
+
+namespace dtnic::routing {
+
+class DirectDeliveryRouter : public Router {
+ public:
+  using Router::Router;
+
+  [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
+                                              util::SimTime now) override;
+};
+
+}  // namespace dtnic::routing

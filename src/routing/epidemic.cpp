@@ -1,0 +1,18 @@
+#include "routing/epidemic.h"
+
+namespace dtnic::routing {
+
+std::vector<ForwardPlan> EpidemicRouter::plan(Host& self, Host& peer, util::SimTime now) {
+  (void)now;
+  std::vector<ForwardPlan> plans;
+  for (const msg::Message* m : self.buffer().messages()) {
+    if (peer.has_seen(m->id())) continue;
+    const TransferRole role = oracle().is_destination(peer.id(), *m)
+                                  ? TransferRole::kDestination
+                                  : TransferRole::kRelay;
+    plans.push_back(ForwardPlan{m->id(), role});
+  }
+  return plans;
+}
+
+}  // namespace dtnic::routing

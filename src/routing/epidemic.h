@@ -1,0 +1,20 @@
+#pragma once
+
+#include "routing/router.h"
+
+/// \file epidemic.h
+/// Epidemic routing (Vahdat & Becker 2000): offer every carried message the
+/// peer has not seen. Maximal delivery ratio, maximal overhead — the upper
+/// baseline the paper's introduction positions data-centric routing against.
+
+namespace dtnic::routing {
+
+class EpidemicRouter : public Router {
+ public:
+  using Router::Router;
+
+  [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
+                                              util::SimTime now) override;
+};
+
+}  // namespace dtnic::routing

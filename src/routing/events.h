@@ -1,0 +1,59 @@
+#pragma once
+
+#include "msg/message.h"
+#include "routing/types.h"
+
+/// \file events.h
+/// Observer interface for everything that happens to messages. The stats
+/// module implements it to compute MDR, traffic, and the per-figure series;
+/// tests implement it to assert on exact event sequences.
+
+namespace dtnic::routing {
+
+class RoutingEvents {
+ public:
+  virtual ~RoutingEvents() = default;
+
+  /// A new message entered the network at its source.
+  virtual void on_created(const msg::Message& m) { (void)m; }
+
+  /// A transfer started (counted as traffic whether or not it completes).
+  virtual void on_transfer_started(NodeId from, NodeId to, const msg::Message& m,
+                                   TransferRole role) {
+    (void)from; (void)to; (void)m; (void)role;
+  }
+
+  /// A relay copy arrived at an intermediate node.
+  virtual void on_relayed(NodeId from, NodeId to, const msg::Message& m) {
+    (void)from; (void)to; (void)m;
+  }
+
+  /// A copy arrived at a node with a direct interest. Whether it is the
+  /// network-wide first delivery of the message (the MDR numerator event)
+  /// is tracked by the metrics collector.
+  virtual void on_delivered(NodeId from, NodeId to, const msg::Message& m) {
+    (void)from; (void)to; (void)m;
+  }
+
+  /// An offer was refused by the peer's admission control.
+  virtual void on_refused(NodeId from, NodeId to, const msg::Message& m, AcceptDecision why) {
+    (void)from; (void)to; (void)m; (void)why;
+  }
+
+  /// A transfer was cut off by link loss.
+  virtual void on_aborted(NodeId from, NodeId to, MessageId m) {
+    (void)from; (void)to; (void)m;
+  }
+
+  /// A buffered copy was discarded.
+  virtual void on_dropped(NodeId at, const msg::Message& m, DropReason why) {
+    (void)at; (void)m; (void)why;
+  }
+
+  /// Incentive tokens moved from \p payer to \p payee (core scheme only).
+  virtual void on_tokens_paid(NodeId payer, NodeId payee, double amount) {
+    (void)payer; (void)payee; (void)amount;
+  }
+};
+
+}  // namespace dtnic::routing

@@ -1,0 +1,38 @@
+#include "routing/host.h"
+
+#include "routing/router.h"
+#include "util/assert.h"
+
+namespace dtnic::routing {
+
+namespace {
+/// Shared do-nothing sink so Host::events() never dereferences null.
+RoutingEvents g_null_events;
+}  // namespace
+
+Host::Host(NodeId id, std::uint64_t buffer_capacity_bytes, msg::DropPolicy drop_policy)
+    : id_(id), buffer_(buffer_capacity_bytes, drop_policy), events_(&g_null_events) {
+  DTNIC_REQUIRE_MSG(id.valid(), "host id must be valid");
+}
+
+void Host::set_rank(int rank) {
+  DTNIC_REQUIRE_MSG(rank >= 1, "rank 1 is the top of the hierarchy; ranks are >= 1");
+  rank_ = rank;
+}
+
+void Host::set_router(std::unique_ptr<Router> router) {
+  DTNIC_REQUIRE_MSG(router != nullptr, "router must not be null");
+  router_ = std::move(router);
+  router_->attach(*this);
+}
+
+Router& Host::router() {
+  DTNIC_REQUIRE_MSG(router_ != nullptr, "host has no router");
+  return *router_;
+}
+
+void Host::set_events(RoutingEvents* events) {
+  events_ = events != nullptr ? events : &g_null_events;
+}
+
+}  // namespace dtnic::routing

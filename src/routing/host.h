@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "msg/buffer.h"
+#include "net/energy.h"
+#include "routing/events.h"
+#include "routing/types.h"
+
+/// \file host.h
+/// A DTN node: identity, bounded message buffer, battery, user role, and the
+/// routing strategy plugged into it. Movement and radio live outside (the
+/// scenario wires a MobilityModel and the ConnectivityManager to the host id).
+
+namespace dtnic::routing {
+
+class Router;
+
+class Host {
+ public:
+  Host(NodeId id, std::uint64_t buffer_capacity_bytes,
+       msg::DropPolicy drop_policy = msg::DropPolicy::kFifoOldest);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  [[nodiscard]] msg::MessageBuffer& buffer() { return buffer_; }
+  [[nodiscard]] const msg::MessageBuffer& buffer() const { return buffer_; }
+
+  [[nodiscard]] net::Battery& battery() { return battery_; }
+  [[nodiscard]] const net::Battery& battery() const { return battery_; }
+
+  /// User role R_u in the incentive formula: 1 is the top of the hierarchy
+  /// (e.g. sergeant), larger is lower (paper §3.2 software factors).
+  [[nodiscard]] int rank() const { return rank_; }
+  void set_rank(int rank);
+
+  void set_router(std::unique_ptr<Router> router);
+  [[nodiscard]] Router& router();
+  [[nodiscard]] bool has_router() const { return router_ != nullptr; }
+
+  /// Every message id this node has ever carried (as source, relay, or
+  /// destination). Used for duplicate suppression so a message evicted from
+  /// the buffer is not re-accepted — and, for destinations, so the incentive
+  /// award is paid exactly once (the paper's first-deliverer rule is
+  /// enforced at the receiving side).
+  [[nodiscard]] bool has_seen(MessageId id) const { return seen_.count(id) > 0; }
+  void mark_seen(MessageId id) { seen_.insert(id); }
+
+  /// Event sink shared across the run; never null after scenario setup
+  /// (defaults to a process-wide null sink).
+  [[nodiscard]] RoutingEvents& events() { return *events_; }
+  void set_events(RoutingEvents* events);
+
+ private:
+  NodeId id_;
+  msg::MessageBuffer buffer_;
+  net::Battery battery_;
+  int rank_ = 1;
+  std::unique_ptr<Router> router_;
+  std::unordered_set<MessageId> seen_;
+  RoutingEvents* events_;
+};
+
+}  // namespace dtnic::routing

@@ -1,0 +1,36 @@
+#include "routing/oracle.h"
+
+#include <algorithm>
+
+namespace dtnic::routing {
+
+const std::unordered_set<msg::KeywordId> StaticInterestOracle::kEmpty{};
+
+void StaticInterestOracle::set_interests(NodeId node, std::vector<msg::KeywordId> interests) {
+  auto& set = interests_[node];
+  set.clear();
+  set.insert(interests.begin(), interests.end());
+}
+
+const std::unordered_set<msg::KeywordId>& StaticInterestOracle::interests_of(NodeId node) const {
+  auto it = interests_.find(node);
+  return it != interests_.end() ? it->second : kEmpty;
+}
+
+bool StaticInterestOracle::is_destination(NodeId node, const msg::Message& m) const {
+  const auto& set = interests_of(node);
+  if (set.empty()) return false;
+  return std::any_of(m.annotations().begin(), m.annotations().end(),
+                     [&set](const msg::Annotation& a) { return set.count(a.keyword) > 0; });
+}
+
+std::vector<NodeId> StaticInterestOracle::subscribers_of(msg::KeywordId keyword) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, set] : interests_) {
+    if (set.count(keyword)) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dtnic::routing

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "msg/message.h"
+#include "routing/types.h"
+
+/// \file oracle.h
+/// Destination resolution. In the paper a node is a *destination* for a
+/// message when it has a direct (self-defined) interest in one of the
+/// message's keywords, and a *relay* when its interest is transient. Direct
+/// interests are static per scenario, so all routers share one oracle; the
+/// ChitChat weight machinery only decides *which* relays are worth using.
+
+namespace dtnic::routing {
+
+class DestinationOracle {
+ public:
+  virtual ~DestinationOracle() = default;
+  /// True if \p node has a direct interest in any keyword of \p m.
+  [[nodiscard]] virtual bool is_destination(NodeId node, const msg::Message& m) const = 0;
+  /// The direct (subscription) interests of \p node.
+  [[nodiscard]] virtual const std::unordered_set<msg::KeywordId>& interests_of(
+      NodeId node) const = 0;
+};
+
+/// Oracle backed by a static node -> direct-interest-set map.
+class StaticInterestOracle final : public DestinationOracle {
+ public:
+  void set_interests(NodeId node, std::vector<msg::KeywordId> interests);
+  [[nodiscard]] const std::unordered_set<msg::KeywordId>& interests_of(
+      NodeId node) const override;
+
+  [[nodiscard]] bool is_destination(NodeId node, const msg::Message& m) const override;
+
+  /// All nodes holding a direct interest in \p keyword (for analysis).
+  [[nodiscard]] std::vector<NodeId> subscribers_of(msg::KeywordId keyword) const;
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<msg::KeywordId>> interests_;
+  static const std::unordered_set<msg::KeywordId> kEmpty;
+};
+
+}  // namespace dtnic::routing

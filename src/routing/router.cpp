@@ -1,0 +1,27 @@
+#include "routing/router.h"
+
+namespace dtnic::routing {
+
+AcceptDecision Router::accept(Host& self, Host& from, const msg::Message& m,
+                              const ForwardPlan& offer, util::SimTime now) {
+  (void)from; (void)offer; (void)now;
+  if (self.has_seen(m.id())) return AcceptDecision::kDuplicate;
+  return AcceptDecision::kAccept;
+}
+
+void Router::on_received(Host& self, Host& from, msg::Message m, const ForwardPlan& plan,
+                         util::SimTime now) {
+  (void)from; (void)plan; (void)now;
+  self.mark_seen(m.id());
+  store(self, std::move(m), /*own=*/false);
+}
+
+bool Router::store(Host& self, msg::Message m, bool own) const {
+  auto outcome = self.buffer().add(std::move(m), own);
+  for (const msg::Message& evicted : outcome.evicted) {
+    self.events().on_dropped(self.id(), evicted, DropReason::kBufferFull);
+  }
+  return outcome.result == msg::MessageBuffer::AddResult::kAdded;
+}
+
+}  // namespace dtnic::routing

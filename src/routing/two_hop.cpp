@@ -1,0 +1,22 @@
+#include "routing/two_hop.h"
+
+namespace dtnic::routing {
+
+std::vector<ForwardPlan> TwoHopRouter::plan(Host& self, Host& peer, util::SimTime now) {
+  (void)now;
+  std::vector<ForwardPlan> plans;
+  for (const msg::Message* m : self.buffer().messages()) {
+    if (peer.has_seen(m->id())) continue;
+    if (oracle().is_destination(peer.id(), *m)) {
+      plans.push_back(ForwardPlan{m->id(), TransferRole::kDestination});
+      continue;
+    }
+    // Only the source sprays relay copies; relays wait for destinations.
+    if (m->source() == self.id()) {
+      plans.push_back(ForwardPlan{m->id(), TransferRole::kRelay});
+    }
+  }
+  return plans;
+}
+
+}  // namespace dtnic::routing

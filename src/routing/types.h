@@ -1,0 +1,63 @@
+#pragma once
+
+#include "util/ids.h"
+
+/// \file types.h
+/// Shared vocabulary of the routing layer.
+
+namespace dtnic::routing {
+
+using util::MessageId;
+using util::NodeId;
+
+/// Why a message copy is being sent to a peer.
+enum class TransferRole {
+  kDestination,  ///< the peer has a direct interest in the message
+  kRelay,        ///< the peer carries the copy onward
+};
+
+[[nodiscard]] constexpr const char* role_name(TransferRole r) {
+  return r == TransferRole::kDestination ? "destination" : "relay";
+}
+
+/// One planned transfer, in the order the router wants them attempted.
+/// The incentive scheme annotates the offer with the token economics so the
+/// peer's admission control can check affordability before the transfer.
+struct ForwardPlan {
+  MessageId message;
+  TransferRole role = TransferRole::kRelay;
+  /// Incentive tokens promised to the receiver on eventual delivery (I of
+  /// §3.2); 0 for schemes without incentives.
+  double promise = 0.0;
+  /// Tokens the receiver pre-pays the sender when its delivery chance for
+  /// the message exceeds the relay threshold (Table 5.1); 0 otherwise.
+  double prepay = 0.0;
+};
+
+/// Peer-side admission decision for an offered message.
+enum class AcceptDecision {
+  kAccept,
+  kDuplicate,        ///< already carried or previously received
+  kNoTokens,         ///< incentive scheme: receiver cannot pay (Paper II §3.3)
+  kUntrustedSender,  ///< DRM: sender reputation below threshold
+  kRefused,          ///< any other router-specific refusal
+};
+
+[[nodiscard]] constexpr const char* accept_name(AcceptDecision d) {
+  switch (d) {
+    case AcceptDecision::kAccept: return "accept";
+    case AcceptDecision::kDuplicate: return "duplicate";
+    case AcceptDecision::kNoTokens: return "no-tokens";
+    case AcceptDecision::kUntrustedSender: return "untrusted-sender";
+    case AcceptDecision::kRefused: return "refused";
+  }
+  return "?";
+}
+
+/// Why a buffered message was discarded.
+enum class DropReason {
+  kBufferFull,
+  kTtlExpired,
+};
+
+}  // namespace dtnic::routing

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "scenario/config.h"
+#include "util/config.h"
+
+/// \file config_io.h
+/// ScenarioConfig <-> key/value Config bridging, so experiments can be
+/// described in ONE-style `key = value` files and replayed without
+/// recompiling (examples/configs/*.cfg, examples/run_scenario).
+
+namespace dtnic::scenario {
+
+/// Overlay \p kv onto \p base. Unknown keys throw std::invalid_argument so
+/// typos in experiment files fail loudly. Returns the merged config
+/// (validated).
+[[nodiscard]] ScenarioConfig apply_config(ScenarioConfig base, const util::Config& kv);
+
+/// Serialize every tunable of \p cfg as `key = value` lines (the inverse of
+/// apply_config; round-trips exactly).
+[[nodiscard]] std::string to_config_text(const ScenarioConfig& cfg);
+
+/// Parse a scheme name ("incentive", "chitchat", "epidemic", "direct",
+/// "spray-and-wait", "first-contact", "prophet", "nectar", "two-hop").
+[[nodiscard]] Scheme parse_scheme(const std::string& name);
+
+}  // namespace dtnic::scenario

@@ -1,0 +1,58 @@
+#include "scenario/experiment.h"
+
+#include "scenario/scenario.h"
+#include "util/assert.h"
+
+namespace dtnic::scenario {
+
+ExperimentRunner::ExperimentRunner(std::size_t seeds, std::uint64_t base_seed)
+    : seeds_(seeds), base_seed_(base_seed) {
+  DTNIC_REQUIRE_MSG(seeds >= 1, "need at least one seed");
+}
+
+RunResult ExperimentRunner::run_once(ScenarioConfig config) {
+  Scenario scenario(config);
+  return scenario.run();
+}
+
+AggregateResult ExperimentRunner::run(ScenarioConfig config) const {
+  AggregateResult agg;
+  agg.scheme = scheme_name(config.scheme);
+  for (std::size_t i = 0; i < seeds_; ++i) {
+    config.seed = base_seed_ + i;
+    RunResult r = run_once(config);
+    agg.mdr.add(r.mdr);
+    agg.traffic.add(static_cast<double>(r.traffic));
+    agg.created.add(static_cast<double>(r.created));
+    agg.delivered.add(static_cast<double>(r.delivered));
+    agg.mdr_high.add(r.mdr_high);
+    agg.mdr_medium.add(r.mdr_medium);
+    agg.mdr_low.add(r.mdr_low);
+    agg.avg_final_tokens.add(r.avg_final_tokens);
+    agg.refused_no_tokens.add(static_cast<double>(r.refused_no_tokens));
+    agg.refused_untrusted.add(static_cast<double>(r.refused_untrusted));
+    agg.mean_latency_s.add(r.mean_latency_s);
+    agg.mean_hops.add(r.mean_hops);
+    agg.raw.push_back(std::move(r));
+    ++agg.runs;
+  }
+  return agg;
+}
+
+std::vector<std::pair<double, double>> ExperimentRunner::mean_series(
+    const std::vector<RunResult>& runs) {
+  std::vector<std::pair<double, double>> out;
+  if (runs.empty()) return out;
+  const auto& reference = runs.front().malicious_rating.samples();
+  out.reserve(reference.size());
+  for (const stats::Sample& s : reference) {
+    double sum = 0.0;
+    for (const RunResult& r : runs) {
+      sum += r.malicious_rating.value_at(s.time);
+    }
+    out.emplace_back(s.time.sec(), sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+}  // namespace dtnic::scenario

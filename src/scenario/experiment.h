@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "scenario/config.h"
+#include "scenario/result.h"
+#include "util/summary.h"
+
+/// \file experiment.h
+/// Multi-seed experiment execution: the paper reports every figure as the
+/// average of five simulation runs; AggregateResult carries mean and stddev
+/// of each metric across seeds.
+
+namespace dtnic::scenario {
+
+struct AggregateResult {
+  std::string scheme;
+  std::size_t runs = 0;
+  util::RunningStats mdr;
+  util::RunningStats traffic;
+  util::RunningStats created;
+  util::RunningStats delivered;
+  util::RunningStats mdr_high;
+  util::RunningStats mdr_medium;
+  util::RunningStats mdr_low;
+  util::RunningStats avg_final_tokens;
+  util::RunningStats refused_no_tokens;
+  util::RunningStats refused_untrusted;
+  util::RunningStats mean_latency_s;
+  util::RunningStats mean_hops;
+  std::vector<RunResult> raw;  ///< per-seed results (time series live here)
+};
+
+class ExperimentRunner {
+ public:
+  /// Number of seeds per configuration; the paper uses five runs.
+  explicit ExperimentRunner(std::size_t seeds = 5, std::uint64_t base_seed = 1);
+
+  /// Run one configuration across all seeds (seed = base, base+1, ...).
+  [[nodiscard]] AggregateResult run(ScenarioConfig config) const;
+
+  /// Run a single seeded configuration.
+  [[nodiscard]] static RunResult run_once(ScenarioConfig config);
+
+  /// Fig. 5.4 helper: average the malicious-rating series across seeds at
+  /// the sample times of the first run.
+  [[nodiscard]] static std::vector<std::pair<double, double>> mean_series(
+      const std::vector<RunResult>& runs);
+
+  [[nodiscard]] std::size_t seeds() const { return seeds_; }
+
+ private:
+  std::size_t seeds_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace dtnic::scenario

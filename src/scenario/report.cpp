@@ -1,0 +1,100 @@
+#include "scenario/report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/summary.h"
+
+namespace dtnic::scenario {
+
+void write_run_report(std::ostream& os, const RunResult& result) {
+  util::Table table({"metric", "value"});
+  auto row = [&table](const std::string& name, const std::string& value) {
+    table.add_row({name, value});
+  };
+  row("scheme", result.scheme);
+  row("seed", std::to_string(result.seed));
+  row("created", util::Table::cell(result.created));
+  row("delivered (unique)", util::Table::cell(result.delivered));
+  row("MDR", util::Table::cell(result.mdr, 4));
+  row("deliveries total", util::Table::cell(static_cast<std::size_t>(result.deliveries_total)));
+  row("mean hops", util::Table::cell(result.mean_hops, 2));
+  row("mean latency (s)", util::Table::cell(result.mean_latency_s, 1));
+  row("traffic (transfers started)", util::Table::cell(static_cast<std::size_t>(result.traffic)));
+  row("contacts", util::Table::cell(static_cast<std::size_t>(result.contacts)));
+  row("contacts suppressed", util::Table::cell(static_cast<std::size_t>(result.contacts_suppressed)));
+  row("MDR high / medium / low",
+      util::Table::cell(result.mdr_high, 3) + " / " + util::Table::cell(result.mdr_medium, 3) +
+          " / " + util::Table::cell(result.mdr_low, 3));
+  row("tokens paid", util::Table::cell(result.tokens_paid, 1));
+  row("payments", util::Table::cell(static_cast<std::size_t>(result.payments)));
+  row("avg final tokens", util::Table::cell(result.avg_final_tokens, 2));
+  row("refused: no tokens", util::Table::cell(static_cast<std::size_t>(result.refused_no_tokens)));
+  row("refused: untrusted", util::Table::cell(static_cast<std::size_t>(result.refused_untrusted)));
+  row("aborted transfers", util::Table::cell(static_cast<std::size_t>(result.aborted)));
+  row("drops: buffer / ttl",
+      util::Table::cell(static_cast<std::size_t>(result.dropped_buffer)) + " / " +
+          util::Table::cell(static_cast<std::size_t>(result.dropped_ttl)));
+  row("energy (J)", util::Table::cell(result.total_energy_j, 1));
+  table.print(os);
+}
+
+util::Table comparison_table(const std::vector<RunResult>& results) {
+  util::Table table({"scheme", "seed", "MDR", "traffic", "latency s", "hops",
+                     "tokens paid", "aborted"});
+  for (const RunResult& r : results) {
+    table.add_row({r.scheme, std::to_string(r.seed), util::Table::cell(r.mdr, 4),
+                   util::Table::cell(static_cast<std::size_t>(r.traffic)),
+                   util::Table::cell(r.mean_latency_s, 1), util::Table::cell(r.mean_hops, 2),
+                   util::Table::cell(r.tokens_paid, 1),
+                   util::Table::cell(static_cast<std::size_t>(r.aborted))});
+  }
+  return table;
+}
+
+void write_series_csv(std::ostream& os, const stats::TimeSeries& series,
+                      const std::string& value_name) {
+  os << "time_s," << value_name << "\n";
+  for (const stats::Sample& s : series.samples()) {
+    os << s.time.sec() << "," << s.value << "\n";
+  }
+}
+
+ContactSummary summarize_contacts(const net::ContactTrace& trace) {
+  ContactSummary summary;
+  summary.contacts = trace.count();
+  summary.mean_duration_s = trace.mean_duration_s();
+  summary.total_contact_time_s = trace.total_contact_time_s();
+  if (trace.contacts().empty()) return summary;
+
+  std::vector<double> durations;
+  durations.reserve(trace.count());
+  for (const auto& c : trace.contacts()) durations.push_back(c.duration().sec());
+  summary.median_duration_s = util::percentile(durations, 0.5);
+
+  // Inter-contact gaps per pair (contacts are sorted by start time).
+  std::unordered_map<std::uint64_t, double> last_down;
+  util::RunningStats gaps;
+  for (const auto& c : trace.contacts()) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(c.a.value()) << 32) | c.b.value();
+    if (auto it = last_down.find(key); it != last_down.end()) {
+      const double gap = c.up.sec() - it->second;
+      if (gap > 0.0) gaps.add(gap);
+    }
+    last_down[key] = std::max(last_down[key], c.down.sec());
+  }
+  summary.mean_intercontact_s = gaps.mean();
+  return summary;
+}
+
+void write_contact_summary(std::ostream& os, const ContactSummary& summary) {
+  util::Table table({"contact metric", "value"});
+  table.add_row({"contacts", util::Table::cell(summary.contacts)});
+  table.add_row({"mean duration (s)", util::Table::cell(summary.mean_duration_s, 1)});
+  table.add_row({"median duration (s)", util::Table::cell(summary.median_duration_s, 1)});
+  table.add_row({"mean inter-contact (s)", util::Table::cell(summary.mean_intercontact_s, 1)});
+  table.add_row({"total contact time (s)", util::Table::cell(summary.total_contact_time_s, 1)});
+  table.print(os);
+}
+
+}  // namespace dtnic::scenario

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/contact_trace.h"
+#include "scenario/result.h"
+#include "stats/time_series.h"
+#include "util/table.h"
+
+/// \file report.h
+/// Human-readable and CSV renderings of run results: the per-run report,
+/// side-by-side scheme comparisons, time-series CSV export, and contact
+/// dynamics summaries (used to sanity-check the mobility substrate against
+/// ONE-like contact statistics).
+
+namespace dtnic::scenario {
+
+/// Full single-run report as an aligned table.
+void write_run_report(std::ostream& os, const RunResult& result);
+
+/// One row per result, for side-by-side scheme or sweep comparisons.
+[[nodiscard]] util::Table comparison_table(const std::vector<RunResult>& results);
+
+/// Time series as CSV: `time_s,value` rows with a header.
+void write_series_csv(std::ostream& os, const stats::TimeSeries& series,
+                      const std::string& value_name);
+
+/// Contact dynamics summary of a finalized trace.
+struct ContactSummary {
+  std::size_t contacts = 0;
+  double mean_duration_s = 0.0;
+  double median_duration_s = 0.0;
+  double mean_intercontact_s = 0.0;  ///< mean gap between consecutive contacts
+                                     ///< of the same pair (0 if no repeats)
+  double total_contact_time_s = 0.0;
+};
+
+[[nodiscard]] ContactSummary summarize_contacts(const net::ContactTrace& trace);
+
+void write_contact_summary(std::ostream& os, const ContactSummary& summary);
+
+}  // namespace dtnic::scenario

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/time_series.h"
+
+/// \file result.h
+/// Everything a finished run reports; the benchmark harness aggregates these
+/// across seeds into the paper's figures.
+
+namespace dtnic::scenario {
+
+struct RunResult {
+  std::string scheme;
+  std::uint64_t seed = 0;
+
+  // Delivery.
+  std::size_t created = 0;
+  std::size_t delivered = 0;  ///< unique messages delivered to >= 1 destination
+  double mdr = 0.0;
+  double mean_hops = 0.0;
+  double mean_latency_s = 0.0;
+  std::uint64_t deliveries_total = 0;
+
+  // Priority-segmented delivery (Fig. 5.6).
+  std::size_t created_high = 0, created_medium = 0, created_low = 0;
+  std::size_t delivered_high = 0, delivered_medium = 0, delivered_low = 0;
+  double mdr_high = 0.0, mdr_medium = 0.0, mdr_low = 0.0;
+
+  // Traffic (Fig. 5.2) and contact dynamics.
+  std::uint64_t traffic = 0;  ///< transfers started
+  std::uint64_t relay_arrivals = 0;
+  std::uint64_t contacts = 0;
+  std::uint64_t contacts_suppressed = 0;
+
+  // Incentive economy.
+  double avg_final_tokens = 0.0;
+  double min_final_tokens = 0.0;
+  double max_final_tokens = 0.0;
+  /// Jain's fairness index of the final token balances (1 = perfectly even).
+  double token_fairness = 1.0;
+  double total_tokens = 0.0;  ///< conservation check: == N * initial tokens
+  double tokens_paid = 0.0;
+  std::uint64_t payments = 0;
+  std::uint64_t refused_no_tokens = 0;
+  std::uint64_t refused_untrusted = 0;
+
+  // Losses.
+  std::uint64_t aborted = 0;
+  std::uint64_t dropped_buffer = 0;
+  std::uint64_t dropped_ttl = 0;
+
+  // Energy.
+  double total_energy_j = 0.0;
+
+  // Fig. 5.4: average rating of malicious nodes at non-malicious nodes.
+  stats::TimeSeries malicious_rating;
+  // Mean token balance over time (Fig. 5.3 analysis aid).
+  stats::TimeSeries mean_tokens;
+};
+
+}  // namespace dtnic::scenario

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/behavior.h"
+#include "core/incentive_router.h"
+#include "core/pi_router.h"
+#include "mobility/mobility_model.h"
+#include "msg/id_source.h"
+#include "msg/keyword.h"
+#include "net/connectivity.h"
+#include "net/contact_source.h"
+#include "net/contact_trace.h"
+#include "net/scripted_contacts.h"
+#include "net/transfer.h"
+#include "routing/host.h"
+#include "routing/oracle.h"
+#include "scenario/config.h"
+#include "scenario/result.h"
+#include "sim/simulator.h"
+#include "stats/metrics.h"
+
+/// \file scenario.h
+/// Wires every subsystem into one runnable world: mobility + connectivity
+/// detect contacts, the contact controller drives the router protocol over
+/// bandwidth-limited transfers, the workload generator creates annotated
+/// messages, and the metrics collector observes everything. One Scenario is
+/// one seeded run; the ExperimentRunner aggregates several.
+
+namespace dtnic::scenario {
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Run to the configured horizon and report.
+  RunResult run();
+
+  // --- introspection (tests, examples) -------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] routing::Host& host(routing::NodeId id);
+  [[nodiscard]] std::size_t node_count() const { return hosts_.size(); }
+  [[nodiscard]] const stats::MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const core::BehaviorProfile& behavior_of(routing::NodeId id) const;
+  [[nodiscard]] const routing::StaticInterestOracle& oracle() const { return oracle_; }
+  [[nodiscard]] msg::KeywordTable& keywords() { return keywords_; }
+  [[nodiscard]] const net::ContactTrace& contact_trace() const { return trace_; }
+  /// The active contact source (mobility-driven or trace replay).
+  [[nodiscard]] net::ContactSource& contacts() { return *contacts_; }
+
+  /// Sum of all ledgers right now (token conservation checks).
+  [[nodiscard]] double total_tokens() const;
+
+  /// Fig. 5.4 metric: mean rating of malicious nodes across non-malicious
+  /// nodes that have formed an opinion; default rating if none has.
+  [[nodiscard]] double current_malicious_rating() const;
+
+ private:
+  void build();
+  void make_router(std::size_t index);
+
+  // Contact controller.
+  void handle_link_up(routing::NodeId a, routing::NodeId b, double distance_m);
+  void handle_link_down(routing::NodeId a, routing::NodeId b);
+  void handle_transfer_complete(const net::TransferManager::Transfer& t,
+                                util::SimTime duration);
+  void handle_transfer_abort(const net::TransferManager::Transfer& t);
+  /// Try to start the next transfer on an idle link; alternates direction.
+  void pump(routing::NodeId a, routing::NodeId b);
+  void pump_all_idle();
+
+  // Workload.
+  void schedule_next_message(std::size_t index);
+  void create_message(std::size_t index);
+
+  // Periodic maintenance.
+  void ttl_sweep();
+  void sample_series();
+
+  [[nodiscard]] std::vector<routing::Host*> neighbor_hosts(routing::NodeId id);
+  [[nodiscard]] static std::uint64_t pair_key(routing::NodeId a, routing::NodeId b);
+
+  ScenarioConfig cfg_;
+  util::Rng master_rng_;
+  util::Rng gate_rng_;
+  sim::Simulator sim_;
+  msg::KeywordTable keywords_;
+  std::vector<msg::KeywordId> pool_;
+  msg::MessageIdSource ids_;
+  routing::StaticInterestOracle oracle_;
+  core::IncentiveWorld world_;
+  core::PiEscrowBank pi_bank_;
+  stats::MetricsCollector metrics_;
+
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
+  std::vector<std::unique_ptr<routing::Host>> hosts_;
+  std::vector<core::BehaviorProfile> behaviors_;
+  std::vector<util::Rng> workload_rng_;
+  /// Fig. 5.6 source class per node: 0 high, 1 medium, 2 low.
+  std::vector<int> source_class_;
+
+  std::unique_ptr<net::ContactSource> contacts_;
+  std::unique_ptr<net::TransferManager> transfers_;
+  net::ContactTrace trace_;
+
+  struct PendingTransfer {
+    routing::ForwardPlan plan;
+    msg::Message copy;  ///< snapshot taken when the transfer started
+  };
+  std::unordered_map<std::uint64_t, PendingTransfer> pending_;
+  std::unordered_map<std::uint64_t, bool> link_toggle_;
+  /// Offers refused during the current contact, keyed by link; an offer is
+  /// not retried until the next contact (message id << 1 | direction bit).
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> refused_this_contact_;
+  /// Buffer revisions of both endpoints at the last fruitless pump; the link
+  /// is not re-planned until either endpoint's buffer changes.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> idle_memo_;
+
+  stats::TimeSeries malicious_rating_series_;
+  stats::TimeSeries mean_tokens_series_;
+  bool built_ = false;
+};
+
+}  // namespace dtnic::scenario

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace dtnic::sim {
+
+EventId EventQueue::push(util::SimTime t, EventFn fn) {
+  DTNIC_REQUIRE_MSG(fn != nullptr, "event callback must not be null");
+  const std::uint64_t seq = next_seq_++;
+  const EventId id{seq};
+  heap_.push(Entry{t, seq, id});
+  callbacks_.emplace(seq, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  if (callbacks_.erase(id.value) > 0) {
+    cancelled_.insert(id.value);
+  }
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().seq) > 0) {
+    cancelled_.erase(heap_.top().seq);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  return callbacks_.empty();
+}
+
+std::size_t EventQueue::size() const { return callbacks_.size(); }
+
+util::SimTime EventQueue::next_time() {
+  drop_cancelled();
+  DTNIC_REQUIRE_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  DTNIC_REQUIRE_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  DTNIC_ASSERT(it != callbacks_.end());
+  Popped out{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  return out;
+}
+
+}  // namespace dtnic::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_time.h"
+
+/// \file event_queue.h
+/// Time-ordered event queue with stable FIFO ordering for simultaneous
+/// events and O(log n) lazy cancellation.
+
+namespace dtnic::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  /// Enqueue \p fn at time \p t. Events at the same time fire in insertion
+  /// order, which keeps runs deterministic.
+  EventId push(util::SimTime t, EventFn fn);
+
+  /// Cancel an event; harmless if already fired or cancelled.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest pending (non-cancelled) event.
+  /// Requires !empty().
+  [[nodiscard]] util::SimTime next_time();
+
+  /// Remove and return the earliest pending event. Requires !empty().
+  struct Popped {
+    util::SimTime time;
+    EventFn fn;
+  };
+  [[nodiscard]] Popped pop();
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Heap entries are copied around; keep the callable in a side table
+    // indexed by seq to avoid moving std::function through the heap.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;  // keyed by seq
+  std::unordered_set<std::uint64_t> cancelled_;           // EventId values
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace dtnic::sim

@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+
+namespace dtnic::sim {
+
+EventId Simulator::schedule_at(util::SimTime t, EventFn fn) {
+  DTNIC_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::schedule_in(util::SimTime dt, EventFn fn) {
+  DTNIC_REQUIRE_MSG(dt >= util::SimTime::zero(), "negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+EventId Simulator::schedule_every(util::SimTime period, std::function<void()> fn) {
+  return schedule_every_from(now_ + period, period, std::move(fn));
+}
+
+EventId Simulator::schedule_every_from(util::SimTime first, util::SimTime period,
+                                       std::function<void()> fn) {
+  DTNIC_REQUIRE_MSG(period > util::SimTime::zero(), "period must be positive");
+  auto alive = std::make_shared<bool>(true);
+  // The tick closure owns the alive flag and re-schedules itself; cancelling
+  // flips the flag so the next firing is a no-op and the chain ends.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, alive, period, tick, fn = std::move(fn)]() {
+    if (!*alive) return;
+    fn();
+    if (!*alive) return;
+    queue_.push(now_ + period, [tick] { (*tick)(); });
+  };
+  const EventId first_id = queue_.push(first, [tick] { (*tick)(); });
+  periodic_controls_[first_id.value] = alive;
+  return first_id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (auto it = periodic_controls_.find(id.value); it != periodic_controls_.end()) {
+    *it->second = false;
+    periodic_controls_.erase(it);
+  }
+  queue_.cancel(id);
+}
+
+void Simulator::run_until(util::SimTime horizon) {
+  DTNIC_REQUIRE(horizon >= now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
+    auto [time, fn] = queue_.pop();
+    DTNIC_ASSERT(time >= now_);
+    now_ = time;
+    fn();
+    ++processed_;
+  }
+  if (!stopped_ && now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    DTNIC_ASSERT(time >= now_);
+    now_ = time;
+    fn();
+    ++processed_;
+  }
+}
+
+}  // namespace dtnic::sim

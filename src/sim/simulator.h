@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "util/sim_time.h"
+
+/// \file simulator.h
+/// The discrete-event simulation kernel. Single-threaded, deterministic:
+/// the clock only moves forward when the next event is popped, simultaneous
+/// events fire in scheduling order, and all randomness comes from seeded
+/// streams owned by the scenario.
+
+namespace dtnic::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedule \p fn at absolute time \p t (must be >= now()).
+  EventId schedule_at(util::SimTime t, EventFn fn);
+
+  /// Schedule \p fn after a delay of \p dt (must be >= 0).
+  EventId schedule_in(util::SimTime dt, EventFn fn);
+
+  /// Schedule \p fn every \p period, first firing at now()+period (or at
+  /// \p first if given). The task re-arms itself until cancel() on the
+  /// returned id, or until the run horizon ends.
+  EventId schedule_every(util::SimTime period, std::function<void()> fn);
+  EventId schedule_every_from(util::SimTime first, util::SimTime period,
+                              std::function<void()> fn);
+
+  /// Cancel a pending event or periodic task.
+  void cancel(EventId id);
+
+  /// Run events until the queue is exhausted or the clock would pass
+  /// \p horizon; the clock is left at min(horizon, last event time).
+  void run_until(util::SimTime horizon);
+
+  /// Run until the queue is empty (periodic tasks make this unbounded:
+  /// prefer run_until).
+  void run();
+
+  /// Request that the run loop stop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  /// alive-flags for periodic tasks, keyed by the EventId handed back to the
+  /// caller; cancel() flips the flag so an already-queued tick is a no-op.
+  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> periodic_controls_;
+  util::SimTime now_ = util::SimTime::zero();
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dtnic::sim

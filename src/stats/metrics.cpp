@@ -1,0 +1,90 @@
+#include "stats/metrics.h"
+
+namespace dtnic::stats {
+
+void MetricsCollector::on_created(const msg::Message& m) {
+  ++created_;
+  ++created_by_priority_[bucket(m.priority())];
+}
+
+void MetricsCollector::on_transfer_started(routing::NodeId, routing::NodeId,
+                                           const msg::Message&, routing::TransferRole) {
+  ++transfers_started_;
+}
+
+void MetricsCollector::on_relayed(routing::NodeId, routing::NodeId, const msg::Message&) {
+  ++relays_;
+}
+
+void MetricsCollector::on_delivered(routing::NodeId, routing::NodeId,
+                                    const msg::Message& m) {
+  ++deliveries_total_;
+  const auto [it, first] = delivered_.insert(m.id());
+  (void)it;
+  if (first) {
+    ++delivered_by_priority_[bucket(m.priority())];
+    hops_sum_ += static_cast<double>(m.relay_hop_count());
+    if (!m.path().empty()) {
+      latency_sum_s_ += (m.path().back().received_at - m.created_at()).sec();
+    }
+  }
+}
+
+void MetricsCollector::on_refused(routing::NodeId, routing::NodeId, const msg::Message&,
+                                  routing::AcceptDecision why) {
+  switch (why) {
+    case routing::AcceptDecision::kNoTokens: ++refused_no_tokens_; break;
+    case routing::AcceptDecision::kUntrustedSender: ++refused_untrusted_; break;
+    case routing::AcceptDecision::kDuplicate: ++refused_duplicate_; break;
+    default: ++refused_other_; break;
+  }
+}
+
+void MetricsCollector::on_aborted(routing::NodeId, routing::NodeId, routing::MessageId) {
+  ++aborted_;
+}
+
+void MetricsCollector::on_dropped(routing::NodeId, const msg::Message&,
+                                  routing::DropReason why) {
+  if (why == routing::DropReason::kBufferFull) {
+    ++dropped_buffer_;
+  } else {
+    ++dropped_ttl_;
+  }
+}
+
+void MetricsCollector::on_tokens_paid(routing::NodeId, routing::NodeId, double amount) {
+  tokens_paid_ += amount;
+  ++payments_;
+}
+
+double MetricsCollector::mdr() const {
+  if (created_ == 0) return 0.0;
+  return static_cast<double>(delivered_.size()) / static_cast<double>(created_);
+}
+
+double MetricsCollector::mdr_for(msg::Priority p) const {
+  const std::size_t c = created_by_priority_[bucket(p)];
+  if (c == 0) return 0.0;
+  return static_cast<double>(delivered_by_priority_[bucket(p)]) / static_cast<double>(c);
+}
+
+std::size_t MetricsCollector::created_for(msg::Priority p) const {
+  return created_by_priority_[bucket(p)];
+}
+
+std::size_t MetricsCollector::delivered_for(msg::Priority p) const {
+  return delivered_by_priority_[bucket(p)];
+}
+
+double MetricsCollector::mean_delivery_hops() const {
+  if (delivered_.empty()) return 0.0;
+  return hops_sum_ / static_cast<double>(delivered_.size());
+}
+
+double MetricsCollector::mean_delivery_latency_s() const {
+  if (delivered_.empty()) return 0.0;
+  return latency_sum_s_ / static_cast<double>(delivered_.size());
+}
+
+}  // namespace dtnic::stats

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/events.h"
+
+/// \file metrics.h
+/// Run-wide metrics, fed by routing events. Definitions used throughout the
+/// reproduction (EXPERIMENTS.md):
+///  * MDR      — messages delivered to at least one destination / messages
+///               created (interest-addressed messages have many potential
+///               destinations; the first delivery is the MDR event).
+///  * traffic  — transfers started, the ONE simulator's "relayed" counter
+///               (Fig. 5.2's reduction is computed over this).
+
+namespace dtnic::stats {
+
+class MetricsCollector final : public routing::RoutingEvents {
+ public:
+  // --- RoutingEvents -------------------------------------------------------
+  void on_created(const msg::Message& m) override;
+  void on_transfer_started(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                           routing::TransferRole role) override;
+  void on_relayed(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_delivered(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                  routing::AcceptDecision why) override;
+  void on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) override;
+  void on_dropped(routing::NodeId at, const msg::Message& m,
+                  routing::DropReason why) override;
+  void on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) override;
+
+  // --- primary results -----------------------------------------------------
+  [[nodiscard]] std::size_t created() const { return created_; }
+  [[nodiscard]] std::size_t delivered_unique() const { return delivered_.size(); }
+  /// Message delivery ratio: unique messages delivered / created.
+  [[nodiscard]] double mdr() const;
+  /// MDR restricted to one source priority class.
+  [[nodiscard]] double mdr_for(msg::Priority p) const;
+  [[nodiscard]] std::size_t created_for(msg::Priority p) const;
+  [[nodiscard]] std::size_t delivered_for(msg::Priority p) const;
+
+  /// Transfers started (relay + destination), the traffic measure.
+  [[nodiscard]] std::uint64_t traffic() const { return transfers_started_; }
+  [[nodiscard]] std::uint64_t relay_arrivals() const { return relays_; }
+  /// Every (message, destination) delivery including later destinations.
+  [[nodiscard]] std::uint64_t deliveries_total() const { return deliveries_total_; }
+
+  // --- secondary counters --------------------------------------------------
+  [[nodiscard]] std::uint64_t refused_no_tokens() const { return refused_no_tokens_; }
+  [[nodiscard]] std::uint64_t refused_untrusted() const { return refused_untrusted_; }
+  [[nodiscard]] std::uint64_t refused_duplicates() const { return refused_duplicate_; }
+  [[nodiscard]] std::uint64_t aborted() const { return aborted_; }
+  [[nodiscard]] std::uint64_t dropped_buffer() const { return dropped_buffer_; }
+  [[nodiscard]] std::uint64_t dropped_ttl() const { return dropped_ttl_; }
+  [[nodiscard]] double tokens_paid_total() const { return tokens_paid_; }
+  [[nodiscard]] std::uint64_t payments() const { return payments_; }
+
+  /// Mean hops of first deliveries (0 if none).
+  [[nodiscard]] double mean_delivery_hops() const;
+  /// Mean latency (s) of first deliveries (0 if none).
+  [[nodiscard]] double mean_delivery_latency_s() const;
+
+ private:
+  [[nodiscard]] static std::size_t bucket(msg::Priority p) {
+    return static_cast<std::size_t>(msg::priority_level(p)) - 1;
+  }
+
+  std::size_t created_ = 0;
+  std::array<std::size_t, 3> created_by_priority_{};
+  std::unordered_set<routing::MessageId> delivered_;
+  std::array<std::size_t, 3> delivered_by_priority_{};
+  std::uint64_t deliveries_total_ = 0;
+  std::uint64_t transfers_started_ = 0;
+  std::uint64_t relays_ = 0;
+  std::uint64_t refused_no_tokens_ = 0;
+  std::uint64_t refused_untrusted_ = 0;
+  std::uint64_t refused_duplicate_ = 0;
+  std::uint64_t refused_other_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t dropped_buffer_ = 0;
+  std::uint64_t dropped_ttl_ = 0;
+  double tokens_paid_ = 0.0;
+  std::uint64_t payments_ = 0;
+  double hops_sum_ = 0.0;
+  double latency_sum_s_ = 0.0;
+};
+
+}  // namespace dtnic::stats

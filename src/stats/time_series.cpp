@@ -1,0 +1,15 @@
+#include "stats/time_series.h"
+
+namespace dtnic::stats {
+
+double TimeSeries::value_at(util::SimTime t) const {
+  if (samples_.empty()) return 0.0;
+  double value = samples_.front().value;
+  for (const Sample& s : samples_) {
+    if (s.time > t) break;
+    value = s.value;
+  }
+  return value;
+}
+
+}  // namespace dtnic::stats

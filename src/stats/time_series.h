@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "util/sim_time.h"
+
+/// \file time_series.h
+/// A sampled (time, value) series — e.g. Fig. 5.4's "average rating of
+/// malicious nodes over time". Samples are appended in time order by the
+/// scenario's periodic sampler.
+
+namespace dtnic::stats {
+
+struct Sample {
+  util::SimTime time;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void add(util::SimTime t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  [[nodiscard]] double last_value() const { return samples_.empty() ? 0.0 : samples_.back().value; }
+  [[nodiscard]] double first_value() const { return samples_.empty() ? 0.0 : samples_.front().value; }
+
+  /// Value at or before \p t (first value if t precedes all samples).
+  [[nodiscard]] double value_at(util::SimTime t) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dtnic::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+/// \file assert.h
+/// Precondition / invariant checking macros used across dtnic.
+///
+/// DTNIC_REQUIRE checks an interface precondition and throws
+/// std::invalid_argument on failure; it is always enabled because a violated
+/// precondition in a simulation silently corrupts every downstream result.
+/// DTNIC_ASSERT checks an internal invariant and aborts; it compiles away in
+/// NDEBUG builds except where the cost is trivial.
+
+namespace dtnic::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& what) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + expr +
+                              (what.empty() ? "" : " (" + what + ")"));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: assertion failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dtnic::util
+
+#define DTNIC_REQUIRE(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::dtnic::util::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DTNIC_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) ::dtnic::util::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define DTNIC_ASSERT(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) ::dtnic::util::assert_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

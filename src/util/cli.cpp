@@ -1,0 +1,79 @@
+#include "util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace dtnic::util {
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  DTNIC_REQUIRE_MSG(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, default_value, help, false};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+    if (!has_value) {
+      // `--flag value` unless the next token is another flag; bare booleans
+      // become "true".
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return true;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.default_value << ")\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+const std::string& Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  DTNIC_REQUIRE_MSG(it != flags_.end(), "undeclared flag: " + name);
+  return it->second.value;
+}
+
+double Cli::get_double(const std::string& name) const { return parse_double(get(name)); }
+long long Cli::get_int(const std::string& name) const { return parse_int(get(name)); }
+bool Cli::get_bool(const std::string& name) const { return parse_bool(get(name)); }
+
+bool Cli::was_set(const std::string& name) const {
+  auto it = flags_.find(name);
+  DTNIC_REQUIRE_MSG(it != flags_.end(), "undeclared flag: " + name);
+  return it->second.set;
+}
+
+}  // namespace dtnic::util

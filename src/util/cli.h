@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file cli.h
+/// Minimal command-line flag parser for benchmark and example binaries.
+/// Accepts `--name=value`, `--name value`, and bare `--flag` booleans.
+/// Unknown flags are an error so that typos in sweep scripts fail loudly.
+
+namespace dtnic::util {
+
+class Cli {
+ public:
+  /// Declare flags before parse(); \p help is printed by usage().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv. Throws std::invalid_argument on unknown or malformed flags.
+  /// Recognizes --help by returning false (caller should print usage()).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dtnic::util

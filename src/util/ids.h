@@ -1,0 +1,57 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+/// \file ids.h
+/// Strongly typed identifiers. A NodeId is never accidentally usable where a
+/// MessageId is expected; both are cheap 32-bit values with an explicit
+/// invalid sentinel.
+
+namespace dtnic::util {
+
+/// CRTP-free strong integer id. \p Tag distinguishes unrelated id spaces.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = std::numeric_limits<underlying>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  underlying value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct MessageTag {};
+struct KeywordTag {};
+
+using NodeId = StrongId<NodeTag>;
+using MessageId = StrongId<MessageTag>;
+using KeywordId = StrongId<KeywordTag>;
+
+}  // namespace dtnic::util
+
+namespace std {
+template <typename Tag>
+struct hash<dtnic::util::StrongId<Tag>> {
+  size_t operator()(dtnic::util::StrongId<Tag> id) const noexcept {
+    return std::hash<typename dtnic::util::StrongId<Tag>::underlying>{}(id.value());
+  }
+};
+}  // namespace std

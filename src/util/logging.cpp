@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtnic::util {
+
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("DTNIC_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void log_write(LogLevel level, const char* component, const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component, message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace dtnic::util

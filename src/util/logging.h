@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Leveled logging to stderr. The simulator is single-threaded; the logger is
+/// deliberately simple. Level is a process-wide setting (default Warn so that
+/// benchmarks stay quiet), overridable via the DTNIC_LOG environment variable
+/// ("trace" | "debug" | "info" | "warn" | "error" | "off").
+
+namespace dtnic::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse a level name; returns kWarn for unknown names.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_write(LogLevel level, const char* component, const std::string& message);
+}
+
+/// Stream-style log statement collector; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::log_write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dtnic::util
+
+#define DTNIC_LOG(level, component)                              \
+  if (::dtnic::util::log_level() <= (level))                     \
+  ::dtnic::util::LogLine((level), (component))
+
+#define DTNIC_TRACE(component) DTNIC_LOG(::dtnic::util::LogLevel::kTrace, component)
+#define DTNIC_DEBUG(component) DTNIC_LOG(::dtnic::util::LogLevel::kDebug, component)
+#define DTNIC_INFO(component) DTNIC_LOG(::dtnic::util::LogLevel::kInfo, component)
+#define DTNIC_WARN(component) DTNIC_LOG(::dtnic::util::LogLevel::kWarn, component)
+#define DTNIC_ERROR(component) DTNIC_LOG(::dtnic::util::LogLevel::kError, component)

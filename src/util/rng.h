@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// dtnic runs are reproducible by construction: every random decision flows
+/// from a single scenario seed through named sub-streams, so adding a new
+/// consumer of randomness does not perturb unrelated decisions. Rng is a
+/// xoshiro256** generator seeded via splitmix64; fork() derives statistically
+/// independent child streams.
+
+namespace dtnic::util {
+
+/// splitmix64 step; used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9c2e5f3a1b4d8e7fULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    DTNIC_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    DTNIC_REQUIRE(n > 0);
+    // Bitmask-with-rejection: unbiased and simple.
+    std::uint64_t mask = ~std::uint64_t{0} >> __builtin_clzll(n | 1);
+    std::uint64_t v;
+    do {
+      v = (*this)() & mask;
+    } while (v >= n);
+    return v;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    DTNIC_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability \p p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * m;
+    has_cached_ = true;
+    return u * m;
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate) {
+    DTNIC_REQUIRE(rate > 0.0);
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Derive an independent child stream; deterministic in (parent state, tag).
+  [[nodiscard]] Rng fork(std::uint64_t tag) {
+    std::uint64_t mix = (*this)() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+  /// Pick a uniformly random element index of a container of size n.
+  [[nodiscard]] std::size_t index(std::size_t n) { return static_cast<std::size_t>(below(n)); }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::swap(c[i - 1], c[index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    DTNIC_REQUIRE(k <= n);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + index(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace dtnic::util

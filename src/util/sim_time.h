@@ -1,0 +1,50 @@
+#pragma once
+
+#include <compare>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+/// \file sim_time.h
+/// Simulation time as a strong type over seconds. Keeps durations and
+/// absolute instants from silently mixing with plain doubles in formulas.
+
+namespace dtnic::util {
+
+/// An instant (or duration) on the simulation clock, in seconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0.0); }
+  [[nodiscard]] static constexpr SimTime seconds(double s) { return SimTime(s); }
+  [[nodiscard]] static constexpr SimTime minutes(double m) { return SimTime(m * 60.0); }
+  [[nodiscard]] static constexpr SimTime hours(double h) { return SimTime(h * 3600.0); }
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr double sec() const { return seconds_; }
+  [[nodiscard]] constexpr bool finite() const { return std::isfinite(seconds_); }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimTime d) { seconds_ += d.seconds_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) { seconds_ -= d.seconds_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.seconds_ + b.seconds_); }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.seconds_ - b.seconds_); }
+  friend constexpr SimTime operator*(SimTime a, double k) { return SimTime(a.seconds_ * k); }
+  friend constexpr SimTime operator*(double k, SimTime a) { return SimTime(a.seconds_ * k); }
+  friend constexpr SimTime operator/(SimTime a, double k) { return SimTime(a.seconds_ / k); }
+  /// Ratio of two durations (dimensionless).
+  friend constexpr double operator/(SimTime a, SimTime b) { return a.seconds_ / b.seconds_; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.seconds_ << "s"; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace dtnic::util

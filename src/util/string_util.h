@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared by the config parser and CLI.
+
+namespace dtnic::util {
+
+/// Strip leading and trailing whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// Split on a delimiter; empty pieces are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if \p s begins with \p prefix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse helpers; throw std::invalid_argument with context on bad input.
+[[nodiscard]] double parse_double(const std::string& s);
+[[nodiscard]] long long parse_int(const std::string& s);
+[[nodiscard]] bool parse_bool(const std::string& s);
+
+}  // namespace dtnic::util

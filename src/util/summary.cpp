@@ -1,0 +1,86 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dtnic::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  DTNIC_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  return stats.mean();
+}
+
+double stddev_of(const std::vector<double>& samples) {
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  return stats.stddev();
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    DTNIC_REQUIRE_MSG(v >= 0.0, "fairness is defined over non-negative allocations");
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace dtnic::util

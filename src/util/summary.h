@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file summary.h
+/// Streaming and batch summary statistics used by the metrics collector and
+/// the experiment runner (mean/stddev across seeds, percentiles of samples).
+
+namespace dtnic::util {
+
+/// Welford streaming accumulator: numerically stable mean and variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation; \p q in [0, 1].
+/// The input vector is copied; empty input yields 0.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Arithmetic mean of a sample set; empty input yields 0.
+[[nodiscard]] double mean_of(const std::vector<double>& samples);
+
+/// Sample standard deviation; fewer than two samples yields 0.
+[[nodiscard]] double stddev_of(const std::vector<double>& samples);
+
+/// Jain's fairness index (Σx)²/(n·Σx²) in (0, 1]: 1 when all values are
+/// equal, 1/n when one value holds everything. Used for token-distribution
+/// fairness (the incentive mechanism "ensures fairness to all devices").
+/// Empty or all-zero input yields 1 (vacuously fair).
+[[nodiscard]] double jain_fairness(const std::vector<double>& values);
+
+}  // namespace dtnic::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Plain-text result tables. Every benchmark binary prints its figure/table
+/// as an aligned text table (human-readable) and can additionally emit CSV
+/// for plotting; both renderings share one Table instance.
+
+namespace dtnic::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision, integers plainly.
+  [[nodiscard]] static std::string cell(double value, int precision = 4);
+  [[nodiscard]] static std::string cell(std::size_t value);
+  [[nodiscard]] static std::string cell(long long value);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Write as an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+
+  /// Write as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtnic::util

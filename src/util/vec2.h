@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+/// \file vec2.h
+/// Minimal 2D vector used for node positions and movement, in metres.
+
+namespace dtnic::util {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) { return {a.x / k, a.y / k}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+/// Linear interpolation between \p a and \p b; t=0 gives a, t=1 gives b.
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+}  // namespace dtnic::util

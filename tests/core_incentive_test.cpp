@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "core/incentive.h"
+#include "core/token_ledger.h"
+#include "net/energy.h"
+#include "util/rng.h"
+
+namespace dtnic::core {
+namespace {
+
+IncentiveParams params() {
+  IncentiveParams p;
+  p.max_incentive = 10.0;
+  return p;
+}
+
+SoftwareFactors base_factors() {
+  SoftwareFactors f;
+  f.sum_weights_v = 1.0;
+  f.max_sum_weights = 2.0;
+  f.rank_u = 1;
+  f.rank_v = 1;
+  f.priority = msg::Priority::kMedium;
+  f.size_bytes = 1024;
+  f.max_size_bytes = 2048;
+  f.quality = 0.5;
+  f.max_quality = 1.0;
+  return f;
+}
+
+// --- software_incentive -----------------------------------------------------------
+
+TEST(SoftwareIncentive, MatchesAlgorithmThree) {
+  const auto p = params();
+  const auto f = base_factors();
+  // P_v = 0.5; I_s = (1/4*(0.5 + 0.5) + 1/2*(0.5/(1*2))) * 10 = (0.25 + 0.125)*10
+  EXPECT_NEAR(software_incentive(p, f), 3.75, 1e-12);
+}
+
+TEST(SoftwareIncentive, SpecialCaseMaxPromise) {
+  const auto p = params();
+  auto f = base_factors();
+  f.sum_weights_v = 0.0;  // P_v = 0
+  f.rank_u = 1;           // sergeant
+  f.rank_v = 2;           // soldier
+  f.priority = msg::Priority::kHigh;
+  EXPECT_DOUBLE_EQ(software_incentive(p, f), 10.0);
+}
+
+TEST(SoftwareIncentive, NoSpecialCaseWithoutHighPriority) {
+  const auto p = params();
+  auto f = base_factors();
+  f.sum_weights_v = 0.0;
+  f.rank_u = 1;
+  f.rank_v = 2;
+  f.priority = msg::Priority::kMedium;
+  EXPECT_DOUBLE_EQ(software_incentive(p, f), 0.0);
+}
+
+TEST(SoftwareIncentive, NoSpecialCaseWhenSenderIsLowerRank) {
+  const auto p = params();
+  auto f = base_factors();
+  f.sum_weights_v = 0.0;
+  f.rank_u = 2;  // soldier sending to sergeant
+  f.rank_v = 1;
+  f.priority = msg::Priority::kHigh;
+  EXPECT_DOUBLE_EQ(software_incentive(p, f), 0.0);
+}
+
+TEST(SoftwareIncentive, HigherPriorityPromisesMore) {
+  const auto p = params();
+  auto f = base_factors();
+  f.priority = msg::Priority::kHigh;
+  const double high = software_incentive(p, f);
+  f.priority = msg::Priority::kLow;
+  const double low = software_incentive(p, f);
+  EXPECT_GT(high, low);
+}
+
+TEST(SoftwareIncentive, LargerAndBetterMessagesPromiseMore) {
+  const auto p = params();
+  auto f = base_factors();
+  const double base = software_incentive(p, f);
+  f.size_bytes = f.max_size_bytes;
+  EXPECT_GT(software_incentive(p, f), base);
+  f = base_factors();
+  f.quality = 1.0;
+  EXPECT_GT(software_incentive(p, f), base);
+}
+
+TEST(SoftwareIncentive, BestReceiverGetsMaxDeliveryTerm) {
+  const auto p = params();
+  auto f = base_factors();
+  f.sum_weights_v = f.max_sum_weights;  // P_v = 1
+  const double best = software_incentive(p, f);
+  f.sum_weights_v = f.max_sum_weights / 4.0;
+  EXPECT_GT(best, software_incentive(p, f));
+}
+
+TEST(SoftwareIncentive, NeverExceedsMax) {
+  const auto p = params();
+  auto f = base_factors();
+  f.sum_weights_v = 5.0;
+  f.max_sum_weights = 5.0;
+  f.size_bytes = f.max_size_bytes;
+  f.quality = f.max_quality;
+  f.priority = msg::Priority::kHigh;
+  EXPECT_LE(software_incentive(p, f), p.max_incentive);
+  EXPECT_GE(software_incentive(p, f), 0.0);
+}
+
+TEST(SoftwareIncentive, InvalidFactorsRejected) {
+  const auto p = params();
+  auto f = base_factors();
+  f.rank_u = 0;
+  EXPECT_THROW((void)software_incentive(p, f), std::invalid_argument);
+  f = base_factors();
+  f.max_size_bytes = 0;
+  EXPECT_THROW((void)software_incentive(p, f), std::invalid_argument);
+  f = base_factors();
+  f.sum_weights_v = -1.0;
+  EXPECT_THROW((void)software_incentive(p, f), std::invalid_argument);
+}
+
+/// Property sweep: I_s in [0, I_m] across the whole input space.
+class SoftwareIncentiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoftwareIncentiveSweep, AlwaysWithinBounds) {
+  util::Rng rng(GetParam());
+  const auto p = params();
+  for (int i = 0; i < 2000; ++i) {
+    SoftwareFactors f;
+    f.sum_weights_v = rng.uniform(0.0, 20.0);
+    f.max_sum_weights = rng.uniform(0.0, 20.0);
+    f.rank_u = static_cast<int>(rng.range(1, 4));
+    f.rank_v = static_cast<int>(rng.range(1, 4));
+    f.priority = static_cast<msg::Priority>(rng.range(1, 3));
+    f.size_bytes = static_cast<std::uint64_t>(rng.range(1, 1 << 20));
+    f.max_size_bytes = static_cast<std::uint64_t>(rng.range(1, 1 << 20));
+    f.quality = rng.uniform(0.0, 1.0);
+    f.max_quality = rng.uniform(0.01, 1.0);
+    const double i_s = software_incentive(p, f);
+    ASSERT_GE(i_s, 0.0);
+    ASSERT_LE(i_s, p.max_incentive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftwareIncentiveSweep, ::testing::Values(1, 2, 3, 4));
+
+// --- hardware_incentive --------------------------------------------------------------
+
+TEST(HardwareIncentive, SourcePaysOnlyTxPower) {
+  const auto p = params();
+  net::RadioParams radio;
+  radio.tx_power_w = 0.1;
+  const double i_h =
+      hardware_incentive(p, radio, /*sender_is_source=*/true, 50.0, util::SimTime::seconds(4));
+  EXPECT_DOUBLE_EQ(i_h, 0.1 * 4.0);  // c * P_t * t with c = 1
+}
+
+TEST(HardwareIncentive, RelayAddsFriisReceivedPower) {
+  const auto p = params();
+  net::RadioParams radio;
+  const double src = hardware_incentive(p, radio, true, 50.0, util::SimTime::seconds(4));
+  const double relay = hardware_incentive(p, radio, false, 50.0, util::SimTime::seconds(4));
+  EXPECT_GT(relay, src);
+  const double pr = net::FriisModel::received_power(radio.tx_power_w, 50.0, radio.wavelength_m);
+  EXPECT_NEAR(relay - src, pr * 4.0, 1e-15);
+}
+
+TEST(HardwareIncentive, ScalesWithDuration) {
+  const auto p = params();
+  net::RadioParams radio;
+  const double short_t = hardware_incentive(p, radio, true, 50.0, util::SimTime::seconds(1));
+  const double long_t = hardware_incentive(p, radio, true, 50.0, util::SimTime::seconds(10));
+  EXPECT_NEAR(long_t / short_t, 10.0, 1e-9);
+}
+
+// --- total_promise & tag_reward ---------------------------------------------------------
+
+TEST(TotalPromise, CapsAtMaxIncentive) {
+  const auto p = params();
+  EXPECT_DOUBLE_EQ(total_promise(p, 6.0, 3.0), 9.0);
+  EXPECT_DOUBLE_EQ(total_promise(p, 8.0, 5.0), 10.0);
+  EXPECT_THROW((void)total_promise(p, -1.0, 0.0), std::invalid_argument);
+}
+
+TEST(TagReward, PerTagTimesZCappedAtIc) {
+  auto p = params();
+  p.tag_reward_z = 0.1;   // 1 token per tag
+  p.tag_reward_cap = 2.0;
+  EXPECT_DOUBLE_EQ(tag_reward(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tag_reward(p, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tag_reward(p, 2), 2.0);
+  EXPECT_DOUBLE_EQ(tag_reward(p, 5), 2.0);  // capped
+  EXPECT_THROW((void)tag_reward(p, -1), std::invalid_argument);
+}
+
+// --- TokenLedger -------------------------------------------------------------------------
+
+TEST(TokenLedger, InitialBalance) {
+  TokenLedger ledger(200.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(), 200.0);
+  EXPECT_TRUE(ledger.can_pay(200.0));
+  EXPECT_FALSE(ledger.can_pay(200.01));
+  EXPECT_THROW(TokenLedger(-1.0), std::invalid_argument);
+}
+
+TEST(TokenLedger, PayMovesTokens) {
+  TokenLedger a(100.0);
+  TokenLedger b(50.0);
+  const double paid = a.pay(b, 30.0);
+  EXPECT_DOUBLE_EQ(paid, 30.0);
+  EXPECT_DOUBLE_EQ(a.balance(), 70.0);
+  EXPECT_DOUBLE_EQ(b.balance(), 80.0);
+  EXPECT_DOUBLE_EQ(a.total_spent(), 30.0);
+  EXPECT_DOUBLE_EQ(b.total_earned(), 30.0);
+}
+
+TEST(TokenLedger, PayClampsToBalance) {
+  TokenLedger a(10.0);
+  TokenLedger b(0.0);
+  const double paid = a.pay(b, 25.0);
+  EXPECT_DOUBLE_EQ(paid, 10.0);
+  EXPECT_DOUBLE_EQ(a.balance(), 0.0);
+  EXPECT_DOUBLE_EQ(b.balance(), 10.0);
+}
+
+TEST(TokenLedger, InvalidPaymentsRejected) {
+  TokenLedger a(10.0);
+  TokenLedger b(0.0);
+  EXPECT_THROW((void)a.pay(b, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)a.pay(a, 1.0), std::invalid_argument);
+}
+
+/// Property: arbitrary payment sequences conserve the total.
+class LedgerConservationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LedgerConservationSweep, TotalInvariant) {
+  util::Rng rng(GetParam());
+  std::vector<TokenLedger> ledgers;
+  double total = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double init = rng.uniform(0.0, 300.0);
+    ledgers.emplace_back(init);
+    total += init;
+  }
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t payer = rng.index(ledgers.size());
+    std::size_t payee = rng.index(ledgers.size());
+    if (payee == payer) payee = (payee + 1) % ledgers.size();
+    (void)ledgers[payer].pay(ledgers[payee], rng.uniform(0.0, 50.0));
+    ASSERT_GE(ledgers[payer].balance(), 0.0);
+  }
+  double after = 0.0;
+  for (const auto& l : ledgers) after += l.balance();
+  EXPECT_NEAR(after, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerConservationSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dtnic::core

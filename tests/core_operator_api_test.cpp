@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/operator_api.h"
+#include "routing/epidemic.h"
+#include "test_helpers.h"
+
+namespace dtnic::core {
+namespace {
+
+using routing::Host;
+using test::MicroWorld;
+using util::SimTime;
+
+constexpr auto kT0 = SimTime::zero();
+
+class OperatorApiFixture : public ::testing::Test {
+ protected:
+  OperatorApiFixture() {
+    pool = w.keywords.make_pool(30);
+    world.keyword_pool = &pool;
+    world.drm.rating_noise_sd = 0.0;
+  }
+
+  Host& make_node(BehaviorProfile profile = {}) {
+    Host& h = w.add_host();
+    auto router = std::make_unique<IncentiveRouter>(
+        w.oracle, chitchat, SimTime::seconds(5), &world, profile, util::Rng(1));
+    h.set_router(std::move(router));
+    return h;
+  }
+
+  MicroWorld w;
+  std::vector<msg::KeywordId> pool;
+  IncentiveWorld world;
+  routing::chitchat::ChitChatParams chitchat;
+  msg::MessageIdSource ids;
+};
+
+TEST_F(OperatorApiFixture, RequiresIncentiveRouter) {
+  Host& plain = w.add_host();
+  plain.set_router(std::make_unique<routing::EpidemicRouter>(w.oracle));
+  EXPECT_THROW(DtnOperator(plain, w.oracle, w.keywords, ids), std::invalid_argument);
+}
+
+TEST_F(OperatorApiFixture, AnnotateCreatesOwnedTaggedMessage) {
+  Host& h = make_node();
+  DtnOperator op(h, w.oracle, w.keywords, ids);
+  const msg::Message& m =
+      op.annotate({"tree", "garden"}, kT0, test::kMB, msg::Priority::kHigh, 0.9);
+  EXPECT_EQ(m.source(), h.id());
+  EXPECT_EQ(m.annotations().size(), 2u);
+  EXPECT_EQ(m.true_keywords().size(), 2u);
+  EXPECT_TRUE(h.buffer().contains(m.id()));
+  EXPECT_TRUE(h.has_seen(m.id()));
+  EXPECT_EQ(w.events.created, 1);
+  EXPECT_THROW((void)op.annotate({}, kT0, test::kMB, msg::Priority::kLow, 0.5),
+               std::invalid_argument);
+}
+
+TEST_F(OperatorApiFixture, SubscribeRegistersInterestsEverywhere) {
+  Host& h = make_node();
+  DtnOperator op(h, w.oracle, w.keywords, ids);
+  op.subscribe({"flood", "rescue"}, kT0);
+  const auto flood = w.keywords.find("flood");
+  EXPECT_TRUE(w.oracle.interests_of(h.id()).count(flood));
+  EXPECT_TRUE(op.router().interests().has_direct(flood));
+  // Subscriptions accumulate.
+  op.subscribe({"bridge"}, kT0);
+  EXPECT_EQ(w.oracle.interests_of(h.id()).size(), 3u);
+}
+
+TEST_F(OperatorApiFixture, DecideRoleUsesOracle) {
+  Host& a = make_node();
+  Host& b = make_node();
+  DtnOperator opa(a, w.oracle, w.keywords, ids);
+  DtnOperator opb(b, w.oracle, w.keywords, ids);
+  opb.subscribe({"flood"}, kT0);
+  const auto& m = opa.annotate({"flood"}, kT0, test::kMB, msg::Priority::kMedium, 0.8);
+  EXPECT_EQ(opa.decide_role(m, b), routing::TransferRole::kDestination);
+  const auto& other = opa.annotate({"parade"}, kT0, test::kMB, msg::Priority::kMedium, 0.8);
+  EXPECT_EQ(opa.decide_role(other, b), routing::TransferRole::kRelay);
+}
+
+TEST_F(OperatorApiFixture, MessagesToForwardMatchesPlan) {
+  Host& a = make_node();
+  Host& b = make_node();
+  DtnOperator opa(a, w.oracle, w.keywords, ids);
+  DtnOperator opb(b, w.oracle, w.keywords, ids);
+  opb.subscribe({"flood"}, kT0);
+  const auto& m = opa.annotate({"flood"}, kT0, test::kMB, msg::Priority::kMedium, 0.8);
+  const auto to_forward = opa.messages_to_forward(b, kT0);
+  ASSERT_EQ(to_forward.size(), 1u);
+  EXPECT_EQ(to_forward[0], m.id());
+}
+
+TEST_F(OperatorApiFixture, ComputeIncentiveWithinBounds) {
+  Host& a = make_node();
+  Host& b = make_node();
+  DtnOperator opa(a, w.oracle, w.keywords, ids);
+  DtnOperator opb(b, w.oracle, w.keywords, ids);
+  opb.subscribe({"flood"}, kT0);
+  const auto& m = opa.annotate({"flood"}, kT0, test::kMB, msg::Priority::kHigh, 1.0);
+  const double promise = opa.compute_incentive(m, b);
+  EXPECT_GT(promise, 0.0);
+  EXPECT_LE(promise, world.incentive.max_incentive);
+}
+
+TEST_F(OperatorApiFixture, BestRelayPicksStrongestInterest) {
+  Host& a = make_node();
+  Host& weak = make_node();
+  Host& strong = make_node();
+  DtnOperator opa(a, w.oracle, w.keywords, ids);
+  DtnOperator op_strong(strong, w.oracle, w.keywords, ids);
+  op_strong.subscribe({"flood"}, kT0);
+  const auto& m = opa.annotate({"flood"}, kT0, test::kMB, msg::Priority::kMedium, 0.8);
+  EXPECT_EQ(opa.best_relay({&weak, &strong}, m), &strong);
+  EXPECT_EQ(opa.best_relay({&weak}, m), nullptr);  // zero strength everywhere
+  EXPECT_EQ(opa.best_relay({}, m), nullptr);
+}
+
+TEST_F(OperatorApiFixture, EnrichAddsUserTags) {
+  Host& h = make_node();
+  DtnOperator op(h, w.oracle, w.keywords, ids);
+  const auto& m = op.annotate({"tree"}, kT0, test::kMB, msg::Priority::kMedium, 0.8);
+  EXPECT_EQ(op.enrich(m.id(), {"oak", "park"}), 2);
+  EXPECT_EQ(op.enrich(m.id(), {"oak"}), 0);  // duplicate keyword
+  EXPECT_EQ(h.buffer().find(m.id())->annotations().size(), 3u);
+  EXPECT_THROW((void)op.enrich(msg::MessageId(999), {"x"}), std::invalid_argument);
+}
+
+TEST_F(OperatorApiFixture, RateMessageAndNode) {
+  Host& h = make_node();
+  DtnOperator op(h, w.oracle, w.keywords, ids);
+  const auto& good = op.annotate({"tree"}, kT0, test::kMB, msg::Priority::kMedium, 1.0);
+  const double r = op.rate_message(good);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 5.0);
+  // Unknown node: the DRM default.
+  EXPECT_DOUBLE_EQ(op.rate_node(util::NodeId(42)), world.drm.default_rating);
+}
+
+TEST_F(OperatorApiFixture, TokensReportLedger) {
+  Host& h = make_node();
+  DtnOperator op(h, w.oracle, w.keywords, ids);
+  EXPECT_DOUBLE_EQ(op.tokens(), world.incentive.initial_tokens);
+}
+
+TEST_F(OperatorApiFixture, WeightMaintenanceFunctions) {
+  Host& a = make_node();
+  Host& b = make_node();
+  DtnOperator opa(a, w.oracle, w.keywords, ids);
+  DtnOperator opb(b, w.oracle, w.keywords, ids);
+  opa.subscribe({"alpha"}, kT0);
+  opb.subscribe({"beta"}, kT0);
+  opa.increment_weights(b, kT0);
+  EXPECT_TRUE(opa.router().interests().has(w.keywords.find("beta")));
+  // Decay long after: the transient interest fades.
+  opa.decay_weights(SimTime::hours(10));
+  opa.decay_weights(SimTime::hours(30));
+  EXPECT_LT(opa.router().interests().weight(w.keywords.find("beta")), 0.05);
+}
+
+}  // namespace
+}  // namespace dtnic::core

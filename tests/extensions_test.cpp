@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "mobility/hotspot.h"
+#include "scenario/config_io.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/summary.h"
+
+/// Tests for the extension features: Jain fairness, battery-conscious
+/// behavior, and hotspot mobility.
+
+namespace dtnic {
+namespace {
+
+using util::SimTime;
+using util::Vec2;
+
+// --- jain_fairness ---------------------------------------------------------------
+
+TEST(JainFairness, EqualAllocationsArePerfectlyFair) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({1}), 1.0);
+}
+
+TEST(JainFairness, MonopolyIsOneOverN) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({10, 0, 0, 0}), 0.25);
+}
+
+TEST(JainFairness, KnownMixedValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(util::jain_fairness({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({0, 0}), 1.0);
+  EXPECT_THROW((void)util::jain_fairness({-1, 2}), std::invalid_argument);
+}
+
+TEST(JainFairness, BoundedByOneOverNAndOne) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> v;
+    const auto n = static_cast<std::size_t>(rng.range(1, 20));
+    for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform(0.0, 100.0));
+    const double f = util::jain_fairness(v);
+    ASSERT_GE(f, 1.0 / static_cast<double>(n) - 1e-12);
+    ASSERT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+// --- HotspotMobility ----------------------------------------------------------------
+
+TEST(HotspotMobility, StaysInAreaAndRespectsSpeed) {
+  mobility::HotspotParams params;
+  params.area = {1000, 1000};
+  util::Rng gen(1);
+  params.hotspots = mobility::HotspotMobility::generate_hotspots(params.area, 3, gen);
+  mobility::HotspotMobility m(params, util::Rng(2));
+  Vec2 prev = m.position_at(SimTime::zero());
+  for (int i = 1; i < 2000; ++i) {
+    const Vec2 cur = m.position_at(SimTime::seconds(i * 1.0));
+    ASSERT_TRUE(params.area.contains(cur));
+    ASSERT_LE(util::distance(prev, cur), params.max_speed_mps * 1.0001);
+    prev = cur;
+  }
+}
+
+TEST(HotspotMobility, ConcentratesNearHotspots) {
+  mobility::HotspotParams params;
+  params.area = {2000, 2000};
+  params.hotspots = {{500, 500}, {1500, 1500}};
+  params.hotspot_radius_m = 100.0;
+  params.hotspot_probability = 1.0;  // always target a hotspot
+  params.max_pause_s = 0.0;
+  mobility::HotspotMobility m(params, util::Rng(7));
+  // Sample positions over a long run; most should sit within ~2x the radius
+  // of some hotspot (travel legs pass through open space).
+  int near = 0;
+  const int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    const Vec2 p = m.position_at(SimTime::seconds(i * 30.0));
+    for (const Vec2& h : params.hotspots) {
+      if (util::distance(p, h) <= 2.0 * params.hotspot_radius_m) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near, samples / 4);  // far above the ~6% a uniform walk would give
+}
+
+TEST(HotspotMobility, RequiresValidSetup) {
+  mobility::HotspotParams params;
+  params.area = {100, 100};
+  EXPECT_THROW(mobility::HotspotMobility(params, util::Rng(1)), std::invalid_argument);
+  params.hotspots = {{500, 500}};  // outside the area
+  EXPECT_THROW(mobility::HotspotMobility(params, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(HotspotMobility, GenerateHotspotsInsideArea) {
+  util::Rng rng(5);
+  const mobility::Area area{300, 700};
+  const auto spots = mobility::HotspotMobility::generate_hotspots(area, 10, rng);
+  ASSERT_EQ(spots.size(), 10u);
+  for (const Vec2& s : spots) EXPECT_TRUE(area.contains(s));
+}
+
+// --- scenario integration -------------------------------------------------------------
+
+TEST(MobilityKinds, AllRunEndToEnd) {
+  for (const auto kind : {scenario::MobilityKind::kRandomWaypoint,
+                          scenario::MobilityKind::kRandomWalk,
+                          scenario::MobilityKind::kHotspot}) {
+    scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(30, 1.0);
+    cfg.mobility = kind;
+    cfg.seed = 4;
+    const auto r = scenario::ExperimentRunner::run_once(cfg);
+    EXPECT_GT(r.contacts, 0u) << scenario::mobility_name(kind);
+    EXPECT_GT(r.created, 0u);
+  }
+}
+
+TEST(MobilityKinds, ConfigIoRoundTrip) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(30, 1.0);
+  cfg.mobility = scenario::MobilityKind::kHotspot;
+  cfg.hotspot_count = 7;
+  const auto back = scenario::apply_config(scenario::ScenarioConfig::paper_defaults(),
+                                           util::Config::parse(to_config_text(cfg)));
+  EXPECT_EQ(back.mobility, scenario::MobilityKind::kHotspot);
+  EXPECT_EQ(back.hotspot_count, 7u);
+  EXPECT_THROW((void)scenario::apply_config(scenario::ScenarioConfig::paper_defaults(),
+                                            util::Config::parse("mobility = levy\n")),
+               std::invalid_argument);
+}
+
+TEST(BatteryConscious, SmallBatteriesSuppressEncounters) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(40, 2.0);
+  cfg.battery_conscious_fraction = 0.5;
+  cfg.messages_per_node_per_hour = 1.0;
+  cfg.seed = 6;
+
+  cfg.battery_capacity_j = 20000.0;  // never binds
+  const auto charged = scenario::ExperimentRunner::run_once(cfg);
+  cfg.battery_capacity_j = 30.0;  // drains within the run
+  const auto drained = scenario::ExperimentRunner::run_once(cfg);
+
+  EXPECT_EQ(charged.contacts_suppressed, 0u);
+  EXPECT_GT(drained.contacts_suppressed, 0u);
+  EXPECT_LE(drained.total_energy_j, charged.total_energy_j);
+}
+
+TEST(BatteryConscious, FractionValidation) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::paper_defaults();
+  cfg.selfish_fraction = 0.5;
+  cfg.malicious_fraction = 0.3;
+  cfg.battery_conscious_fraction = 0.3;  // sums to 1.1
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(TokenFairness, ReportedInUnitInterval) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(30, 1.5);
+  cfg.incentive.initial_tokens = 10.0;
+  cfg.seed = 8;
+  const auto r = scenario::ExperimentRunner::run_once(cfg);
+  EXPECT_GT(r.token_fairness, 0.0);
+  EXPECT_LE(r.token_fairness, 1.0);
+  // Payments spread tokens unevenly: fairness below perfect but not absurd.
+  EXPECT_LT(r.token_fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace dtnic

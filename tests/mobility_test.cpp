@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "mobility/random_walk.h"
+#include "mobility/random_waypoint.h"
+#include "mobility/stationary.h"
+#include "mobility/waypoint_trace.h"
+#include "util/rng.h"
+
+namespace dtnic::mobility {
+namespace {
+
+using util::SimTime;
+using util::Vec2;
+
+// --- Stationary ------------------------------------------------------------
+
+TEST(Stationary, NeverMoves) {
+  Stationary m({10, 20});
+  EXPECT_EQ(m.position_at(SimTime::zero()), (Vec2{10, 20}));
+  EXPECT_EQ(m.position_at(SimTime::hours(5)), (Vec2{10, 20}));
+  EXPECT_DOUBLE_EQ(m.max_speed(), 0.0);
+}
+
+TEST(Stationary, MoveToTeleports) {
+  Stationary m({0, 0});
+  m.move_to({5, 5});
+  EXPECT_EQ(m.position_at(SimTime::seconds(1)), (Vec2{5, 5}));
+}
+
+// --- WaypointTrace ------------------------------------------------------------
+
+TEST(WaypointTrace, InterpolatesBetweenKeyframes) {
+  WaypointTrace trace({{SimTime::seconds(0), {0, 0}}, {SimTime::seconds(10), {100, 0}}});
+  EXPECT_EQ(trace.position_at(SimTime::seconds(5)), (Vec2{50, 0}));
+  EXPECT_EQ(trace.position_at(SimTime::seconds(2.5)), (Vec2{25, 0}));
+}
+
+TEST(WaypointTrace, ClampsOutsideRange) {
+  WaypointTrace trace({{SimTime::seconds(5), {1, 1}}, {SimTime::seconds(10), {2, 2}}});
+  EXPECT_EQ(trace.position_at(SimTime::zero()), (Vec2{1, 1}));
+  EXPECT_EQ(trace.position_at(SimTime::seconds(100)), (Vec2{2, 2}));
+}
+
+TEST(WaypointTrace, MaxSpeedFromSteepestSegment) {
+  WaypointTrace trace({{SimTime::seconds(0), {0, 0}},
+                       {SimTime::seconds(10), {10, 0}},    // 1 m/s
+                       {SimTime::seconds(20), {110, 0}}});  // 10 m/s
+  EXPECT_DOUBLE_EQ(trace.max_speed(), 10.0);
+}
+
+TEST(WaypointTrace, RejectsNonIncreasingTimes) {
+  EXPECT_THROW(WaypointTrace({{SimTime::seconds(5), {0, 0}}, {SimTime::seconds(5), {1, 1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(WaypointTrace({}), std::invalid_argument);
+}
+
+TEST(WaypointTrace, MultiSegmentMonotoneQueries) {
+  WaypointTrace trace({{SimTime::seconds(0), {0, 0}},
+                       {SimTime::seconds(10), {10, 0}},
+                       {SimTime::seconds(20), {10, 10}}});
+  EXPECT_EQ(trace.position_at(SimTime::seconds(5)), (Vec2{5, 0}));
+  EXPECT_EQ(trace.position_at(SimTime::seconds(15)), (Vec2{10, 5}));
+  EXPECT_EQ(trace.position_at(SimTime::seconds(15)), (Vec2{10, 5}));  // repeat ok
+}
+
+// --- RandomWaypoint -------------------------------------------------------------
+
+class RandomWaypointTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWaypointTest, StaysInArea) {
+  RandomWaypointParams params;
+  params.area = {500, 300};
+  RandomWaypoint m(params, util::Rng(GetParam()));
+  for (int i = 0; i <= 2000; ++i) {
+    const Vec2 p = m.position_at(SimTime::seconds(i * 7.3));
+    EXPECT_TRUE(params.area.contains(p)) << "at step " << i << ": " << p;
+  }
+}
+
+TEST_P(RandomWaypointTest, SpeedNeverExceedsMax) {
+  RandomWaypointParams params;
+  params.area = {1000, 1000};
+  params.min_speed_mps = 0.5;
+  params.max_speed_mps = 1.5;
+  RandomWaypoint m(params, util::Rng(GetParam()));
+  Vec2 prev = m.position_at(SimTime::zero());
+  const double dt = 1.0;
+  for (int i = 1; i < 3000; ++i) {
+    const Vec2 cur = m.position_at(SimTime::seconds(i * dt));
+    const double speed = util::distance(prev, cur) / dt;
+    EXPECT_LE(speed, params.max_speed_mps * 1.0001);
+    prev = cur;
+  }
+}
+
+TEST_P(RandomWaypointTest, ActuallyMoves) {
+  RandomWaypointParams params;
+  params.area = {1000, 1000};
+  params.max_pause_s = 0.0;
+  RandomWaypoint m(params, util::Rng(GetParam()));
+  const Vec2 start = m.position_at(SimTime::zero());
+  const Vec2 later = m.position_at(SimTime::hours(1));
+  EXPECT_GT(util::distance(start, later), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWaypointTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(RandomWaypoint, DeterministicForSameSeed) {
+  RandomWaypointParams params;
+  RandomWaypoint a(params, util::Rng(7));
+  RandomWaypoint b(params, util::Rng(7));
+  for (int i = 0; i < 500; ++i) {
+    const auto t = SimTime::seconds(i * 3.0);
+    EXPECT_EQ(a.position_at(t), b.position_at(t));
+  }
+}
+
+TEST(RandomWaypoint, SameTimeRepeatQueryStable) {
+  RandomWaypoint m(RandomWaypointParams{}, util::Rng(5));
+  const auto t = SimTime::seconds(1234.5);
+  EXPECT_EQ(m.position_at(t), m.position_at(t));
+}
+
+TEST(RandomWaypoint, RejectsBadParams) {
+  RandomWaypointParams bad;
+  bad.min_speed_mps = 0.0;
+  EXPECT_THROW(RandomWaypoint(bad, util::Rng(1)), std::invalid_argument);
+  bad = {};
+  bad.max_speed_mps = 0.1;  // < min
+  EXPECT_THROW(RandomWaypoint(bad, util::Rng(1)), std::invalid_argument);
+  bad = {};
+  bad.area.width = 0.0;
+  EXPECT_THROW(RandomWaypoint(bad, util::Rng(1)), std::invalid_argument);
+}
+
+// --- RandomWalk --------------------------------------------------------------------
+
+class RandomWalkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWalkTest, StaysInArea) {
+  RandomWalkParams params;
+  params.area = {400, 400};
+  RandomWalk m(params, util::Rng(GetParam()));
+  for (int i = 0; i <= 2000; ++i) {
+    const Vec2 p = m.position_at(SimTime::seconds(i * 5.0));
+    EXPECT_TRUE(params.area.contains(p));
+  }
+}
+
+TEST_P(RandomWalkTest, StepsAreBounded) {
+  RandomWalkParams params;
+  params.area = {10000, 10000};
+  params.step_distance_m = 50.0;
+  params.max_pause_s = 0.0;
+  RandomWalk m(params, util::Rng(GetParam()));
+  // Walk legs are at most step_distance long, so displacement between pause
+  // endpoints is bounded; just verify the speed bound holds.
+  Vec2 prev = m.position_at(SimTime::zero());
+  for (int i = 1; i < 1000; ++i) {
+    const Vec2 cur = m.position_at(SimTime::seconds(i * 1.0));
+    EXPECT_LE(util::distance(prev, cur), params.max_speed_mps * 1.0001);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWalkTest, ::testing::Values(4, 8, 15, 16));
+
+// --- Area -------------------------------------------------------------------------
+
+TEST(Area, ContainsAndClamp) {
+  Area area{100, 50};
+  EXPECT_TRUE(area.contains({0, 0}));
+  EXPECT_TRUE(area.contains({100, 50}));
+  EXPECT_FALSE(area.contains({100.1, 0}));
+  EXPECT_FALSE(area.contains({-0.1, 0}));
+  EXPECT_EQ(area.clamp({150, -10}), (Vec2{100, 0}));
+}
+
+}  // namespace
+}  // namespace dtnic::mobility

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "msg/buffer.h"
+#include "util/rng.h"
+
+/// would_admit() must predict add() exactly — admission control relies on
+/// the two never disagreeing (a transfer is started only if the copy will
+/// actually be stored).
+
+namespace dtnic::msg {
+namespace {
+
+using util::NodeId;
+using util::SimTime;
+
+constexpr std::uint64_t kKB = 1024;
+
+Message random_message(util::Rng& rng, MessageId id) {
+  const auto priority = static_cast<Priority>(rng.range(1, 3));
+  const auto size = static_cast<std::uint64_t>(rng.range(1, 64)) * kKB;
+  Message m(id, NodeId(static_cast<NodeId::underlying>(rng.below(8))), SimTime::zero(), size,
+            priority, rng.uniform(0.0, 1.0));
+  return m;
+}
+
+TEST(WouldAdmit, TrueWhenSpaceFree) {
+  MessageBuffer buf(64 * kKB);
+  const Message m(MessageId(1), NodeId(0), SimTime::zero(), kKB, Priority::kLow, 0.1);
+  EXPECT_TRUE(buf.would_admit(m));
+}
+
+TEST(WouldAdmit, FalseForDuplicateAndOversize) {
+  MessageBuffer buf(64 * kKB);
+  Message m(MessageId(1), NodeId(0), SimTime::zero(), kKB, Priority::kLow, 0.1);
+  (void)buf.add(m);
+  EXPECT_FALSE(buf.would_admit(m));
+  const Message big(MessageId(2), NodeId(0), SimTime::zero(), 128 * kKB, Priority::kHigh,
+                    0.9);
+  EXPECT_FALSE(buf.would_admit(big));
+}
+
+TEST(WouldAdmit, PriorityPolicyRefusesOutrankedCopy) {
+  MessageBuffer buf(2 * kKB, DropPolicy::kLowPriorityFirst);
+  (void)buf.add(Message(MessageId(1), NodeId(0), SimTime::zero(), kKB, Priority::kHigh, 0.9));
+  (void)buf.add(Message(MessageId(2), NodeId(0), SimTime::zero(), kKB, Priority::kHigh, 0.8));
+  const Message low(MessageId(3), NodeId(0), SimTime::zero(), kKB, Priority::kLow, 0.9);
+  EXPECT_FALSE(buf.would_admit(low));
+  const Message high(MessageId(4), NodeId(0), SimTime::zero(), kKB, Priority::kHigh, 0.5);
+  EXPECT_TRUE(buf.would_admit(high));  // equal priority churns by quality
+}
+
+class AdmissionOracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, DropPolicy>> {};
+
+TEST_P(AdmissionOracleSweep, WouldAdmitPredictsAdd) {
+  const auto [seed, policy] = GetParam();
+  util::Rng rng(seed);
+  MessageBuffer buf(96 * kKB, policy);
+  MessageId::underlying next = 0;
+  int admitted = 0;
+  int refused = 0;
+  for (int step = 0; step < 600; ++step) {
+    const bool own = rng.chance(0.1);
+    Message m = random_message(rng, MessageId(next++));
+    const bool predicted = buf.would_admit(m, own);
+    const auto outcome = buf.add(std::move(m), own);
+    const bool stored = outcome.result == MessageBuffer::AddResult::kAdded;
+    ASSERT_EQ(predicted, stored) << "step " << step << " policy "
+                                 << (policy == DropPolicy::kFifoOldest ? "fifo" : "prio");
+    (stored ? admitted : refused) += 1;
+    ASSERT_LE(buf.used_bytes(), buf.capacity_bytes());
+    if (rng.chance(0.05) && !buf.empty()) {
+      (void)buf.remove(buf.messages().front()->id());
+    }
+  }
+  EXPECT_GT(admitted, 0);
+  if (policy == DropPolicy::kLowPriorityFirst) EXPECT_GT(refused, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AdmissionOracleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(DropPolicy::kFifoOldest,
+                                         DropPolicy::kLowPriorityFirst)));
+
+/// Under the priority policy a relayed arrival never displaces a strictly
+/// better-ranked copy: every evicted message ranks no higher than the
+/// incoming one.
+TEST(PriorityPolicyChurn, EvictionNeverSacrificesBetterPriority) {
+  MessageBuffer buf(4 * kKB, DropPolicy::kLowPriorityFirst);
+  util::Rng rng(9);
+  MessageId::underlying next = 0;
+  for (int step = 0; step < 500; ++step) {
+    Message m = random_message(rng, MessageId(next++));
+    const auto incoming_priority = priority_level(m.priority());
+    const auto outcome = buf.add(std::move(m));
+    for (const Message& evicted : outcome.evicted) {
+      ASSERT_GE(priority_level(evicted.priority()), incoming_priority);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtnic::msg

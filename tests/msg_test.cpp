@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include "msg/buffer.h"
+#include "msg/id_source.h"
+#include "msg/keyword.h"
+#include "msg/message.h"
+
+namespace dtnic::msg {
+namespace {
+
+using util::NodeId;
+using util::SimTime;
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+Message make(MessageId id, std::uint64_t size = kMB, NodeId source = NodeId(0)) {
+  return Message(id, source, SimTime::zero(), size, Priority::kMedium, 0.8);
+}
+
+// --- KeywordTable ------------------------------------------------------------
+
+TEST(KeywordTable, InternIsIdempotent) {
+  KeywordTable table;
+  const KeywordId a = table.intern("red car");
+  const KeywordId b = table.intern("red car");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(KeywordTable, DistinctNamesDistinctIds) {
+  KeywordTable table;
+  EXPECT_NE(table.intern("a"), table.intern("b"));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(KeywordTable, NameRoundTrip) {
+  KeywordTable table;
+  const KeywordId id = table.intern("medic");
+  EXPECT_EQ(table.name(id), "medic");
+}
+
+TEST(KeywordTable, FindWithoutIntern) {
+  KeywordTable table;
+  (void)table.intern("x");
+  EXPECT_TRUE(table.find("x").valid());
+  EXPECT_FALSE(table.find("y").valid());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(KeywordTable, EmptyKeywordRejected) {
+  KeywordTable table;
+  EXPECT_THROW((void)table.intern(""), std::invalid_argument);
+}
+
+TEST(KeywordTable, UnknownIdRejected) {
+  KeywordTable table;
+  EXPECT_THROW((void)table.name(KeywordId(99)), std::invalid_argument);
+}
+
+TEST(KeywordTable, MakePoolGeneratesDistinct) {
+  KeywordTable table;
+  const auto pool = table.make_pool(200);
+  EXPECT_EQ(pool.size(), 200u);
+  EXPECT_EQ(table.size(), 200u);
+  EXPECT_EQ(table.name(pool[0]), "kw000");
+  EXPECT_EQ(table.name(pool[199]), "kw199");
+}
+
+// --- MessageIdSource -----------------------------------------------------------
+
+TEST(MessageIdSource, MonotoneUnique) {
+  MessageIdSource ids;
+  const MessageId a = ids.next();
+  const MessageId b = ids.next();
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(ids.issued(), 2u);
+}
+
+// --- Message ---------------------------------------------------------------------
+
+TEST(Message, ConstructionValidation) {
+  EXPECT_THROW(Message(MessageId(), NodeId(1), SimTime::zero(), 1, Priority::kHigh, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(Message(MessageId(1), NodeId(1), SimTime::zero(), 0, Priority::kHigh, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(Message(MessageId(1), NodeId(1), SimTime::zero(), 1, Priority::kHigh, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Message, SourceIsFirstHop) {
+  const Message m = make(MessageId(1), kMB, NodeId(9));
+  ASSERT_EQ(m.path().size(), 1u);
+  EXPECT_EQ(m.path()[0].node, NodeId(9));
+  EXPECT_EQ(m.relay_hop_count(), 0u);
+  EXPECT_TRUE(m.visited(NodeId(9)));
+  EXPECT_FALSE(m.visited(NodeId(3)));
+}
+
+TEST(Message, AnnotateDeduplicates) {
+  Message m = make(MessageId(1));
+  EXPECT_TRUE(m.annotate({KeywordId(5), NodeId(0), true}));
+  EXPECT_FALSE(m.annotate({KeywordId(5), NodeId(2), false}));  // same keyword
+  EXPECT_EQ(m.annotations().size(), 1u);
+  EXPECT_TRUE(m.has_keyword(KeywordId(5)));
+  EXPECT_FALSE(m.has_keyword(KeywordId(6)));
+}
+
+TEST(Message, AnnotationsByAnnotator) {
+  Message m = make(MessageId(1), kMB, NodeId(0));
+  m.annotate({KeywordId(1), NodeId(0), true});
+  m.annotate({KeywordId(2), NodeId(3), false});
+  m.annotate({KeywordId(3), NodeId(3), true});
+  EXPECT_EQ(m.annotations_by(NodeId(0)).size(), 1u);
+  EXPECT_EQ(m.annotations_by(NodeId(3)).size(), 2u);
+  EXPECT_TRUE(m.annotations_by(NodeId(7)).empty());
+}
+
+TEST(Message, TruthfulKeywords) {
+  Message m = make(MessageId(1));
+  m.set_true_keywords({KeywordId(1), KeywordId(2)});
+  EXPECT_TRUE(m.keyword_is_truthful(KeywordId(1)));
+  EXPECT_FALSE(m.keyword_is_truthful(KeywordId(3)));
+}
+
+TEST(Message, TtlExpiry) {
+  Message m(MessageId(1), NodeId(0), SimTime::seconds(100), kMB, Priority::kLow, 0.5);
+  EXPECT_FALSE(m.expired(SimTime::hours(1000)));  // infinite by default
+  m.set_ttl(SimTime::seconds(50));
+  EXPECT_FALSE(m.expired(SimTime::seconds(150)));
+  EXPECT_TRUE(m.expired(SimTime::seconds(151)));
+}
+
+TEST(Message, HopRecording) {
+  Message m = make(MessageId(1), kMB, NodeId(0));
+  m.record_hop(NodeId(1), SimTime::seconds(10));
+  m.record_hop(NodeId(2), SimTime::seconds(20));
+  EXPECT_EQ(m.relay_hop_count(), 2u);
+  EXPECT_TRUE(m.visited(NodeId(1)));
+  EXPECT_EQ(m.path().back().received_at.sec(), 20.0);
+}
+
+TEST(Message, PathRatingsAccumulate) {
+  Message m = make(MessageId(1));
+  m.add_path_rating({NodeId(1), NodeId(0), 4.5});
+  m.add_path_rating({NodeId(2), NodeId(0), 3.0});
+  ASSERT_EQ(m.path_ratings().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.path_ratings()[0].rating, 4.5);
+}
+
+TEST(Message, PropertiesUpsert) {
+  Message m = make(MessageId(1));
+  EXPECT_DOUBLE_EQ(m.property_or("copies", 1.0), 1.0);
+  m.set_property("copies", 8.0);
+  EXPECT_DOUBLE_EQ(m.property_or("copies", 1.0), 8.0);
+  m.set_property("copies", 4.0);
+  EXPECT_DOUBLE_EQ(m.property_or("copies", 1.0), 4.0);
+}
+
+TEST(Message, KeywordsListsDistinct) {
+  Message m = make(MessageId(1));
+  m.annotate({KeywordId(1), NodeId(0), true});
+  m.annotate({KeywordId(2), NodeId(0), true});
+  EXPECT_EQ(m.keywords().size(), 2u);
+}
+
+TEST(Message, MultimediaMetadata) {
+  Message m = make(MessageId(1));
+  EXPECT_EQ(m.mime_type(), "image/jpeg");
+  EXPECT_EQ(m.format(), "jpeg");
+  EXPECT_FALSE(m.location().has_value());
+  m.set_mime_type("video/mp4");
+  m.set_format("mp4");
+  m.set_location({37.95, -91.77});
+  EXPECT_EQ(m.mime_type(), "video/mp4");
+  ASSERT_TRUE(m.location().has_value());
+  EXPECT_DOUBLE_EQ(m.location()->latitude, 37.95);
+  EXPECT_DOUBLE_EQ(m.location()->longitude, -91.77);
+}
+
+TEST(PriorityNames, Cover) {
+  EXPECT_STREQ(priority_name(Priority::kHigh), "high");
+  EXPECT_STREQ(priority_name(Priority::kMedium), "medium");
+  EXPECT_STREQ(priority_name(Priority::kLow), "low");
+  EXPECT_EQ(priority_level(Priority::kHigh), 1);
+  EXPECT_EQ(priority_level(Priority::kLow), 3);
+}
+
+// --- MessageBuffer ----------------------------------------------------------------
+
+TEST(MessageBuffer, AddAndFind) {
+  MessageBuffer buf(10 * kMB);
+  auto outcome = buf.add(make(MessageId(1)));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  EXPECT_TRUE(buf.contains(MessageId(1)));
+  EXPECT_NE(buf.find(MessageId(1)), nullptr);
+  EXPECT_EQ(buf.used_bytes(), kMB);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(MessageBuffer, RejectsDuplicates) {
+  MessageBuffer buf(10 * kMB);
+  (void)buf.add(make(MessageId(1)));
+  auto outcome = buf.add(make(MessageId(1)));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kDuplicate);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(MessageBuffer, RejectsOversized) {
+  MessageBuffer buf(2 * kMB);
+  auto outcome = buf.add(make(MessageId(1), 3 * kMB));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kTooLarge);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(MessageBuffer, EvictsOldestFirst) {
+  MessageBuffer buf(3 * kMB);
+  (void)buf.add(make(MessageId(1)));
+  (void)buf.add(make(MessageId(2)));
+  (void)buf.add(make(MessageId(3)));
+  auto outcome = buf.add(make(MessageId(4)));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].id(), MessageId(1));
+  EXPECT_FALSE(buf.contains(MessageId(1)));
+  EXPECT_TRUE(buf.contains(MessageId(4)));
+}
+
+TEST(MessageBuffer, OwnMessagesProtectedFromEviction) {
+  MessageBuffer buf(3 * kMB);
+  (void)buf.add(make(MessageId(1)), /*own=*/true);
+  (void)buf.add(make(MessageId(2)));
+  (void)buf.add(make(MessageId(3)));
+  auto outcome = buf.add(make(MessageId(4)));
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].id(), MessageId(2));  // oldest non-own
+  EXPECT_TRUE(buf.contains(MessageId(1)));
+}
+
+TEST(MessageBuffer, OwnMessagesEvictedOnlyAsLastResort) {
+  MessageBuffer buf(2 * kMB);
+  (void)buf.add(make(MessageId(1)), true);
+  (void)buf.add(make(MessageId(2)), true);
+  // Only own messages remain: the oldest own one is sacrificed.
+  auto outcome = buf.add(make(MessageId(3)));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].id(), MessageId(1));
+  EXPECT_TRUE(buf.contains(MessageId(2)));
+  EXPECT_TRUE(buf.contains(MessageId(3)));
+}
+
+msg::Message make_prio(MessageId id, Priority p, double quality,
+                       std::uint64_t size = kMB) {
+  return Message(id, NodeId(0), SimTime::zero(), size, p, quality);
+}
+
+TEST(MessageBufferPriorityPolicy, EvictsLowestPriorityFirst) {
+  MessageBuffer buf(3 * kMB, DropPolicy::kLowPriorityFirst);
+  (void)buf.add(make_prio(MessageId(1), Priority::kLow, 0.9));
+  (void)buf.add(make_prio(MessageId(2), Priority::kHigh, 0.5));
+  (void)buf.add(make_prio(MessageId(3), Priority::kMedium, 0.5));
+  auto outcome = buf.add(make_prio(MessageId(4), Priority::kHigh, 0.9));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].id(), MessageId(1));  // the low-priority copy
+}
+
+TEST(MessageBufferPriorityPolicy, QualityBreaksPriorityTies) {
+  MessageBuffer buf(2 * kMB, DropPolicy::kLowPriorityFirst);
+  (void)buf.add(make_prio(MessageId(1), Priority::kMedium, 0.9));
+  (void)buf.add(make_prio(MessageId(2), Priority::kMedium, 0.2));
+  auto outcome = buf.add(make_prio(MessageId(3), Priority::kHigh, 0.5));
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].id(), MessageId(2));  // worst quality goes
+}
+
+TEST(MessageBufferPriorityPolicy, RefusesCopyWorseThanEveryVictim) {
+  MessageBuffer buf(2 * kMB, DropPolicy::kLowPriorityFirst);
+  (void)buf.add(make_prio(MessageId(1), Priority::kHigh, 0.9));
+  (void)buf.add(make_prio(MessageId(2), Priority::kMedium, 0.8));
+  // An incoming low-priority relayed copy must not displace better content.
+  auto outcome = buf.add(make_prio(MessageId(3), Priority::kLow, 0.9));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kNotAdmitted);
+  EXPECT_TRUE(outcome.evicted.empty());
+  EXPECT_TRUE(buf.contains(MessageId(1)));
+  EXPECT_TRUE(buf.contains(MessageId(2)));
+  EXPECT_FALSE(buf.contains(MessageId(3)));
+}
+
+TEST(MessageBufferPriorityPolicy, OwnCreationsAlwaysAdmitted) {
+  MessageBuffer buf(2 * kMB, DropPolicy::kLowPriorityFirst);
+  (void)buf.add(make_prio(MessageId(1), Priority::kHigh, 0.9));
+  (void)buf.add(make_prio(MessageId(2), Priority::kHigh, 0.8));
+  // A node's own new message is stored even if it is low priority.
+  auto outcome = buf.add(make_prio(MessageId(3), Priority::kLow, 0.1), /*own=*/true);
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  EXPECT_EQ(outcome.evicted.size(), 1u);
+}
+
+TEST(MessageBufferPriorityPolicy, FifoIsDefault) {
+  MessageBuffer buf(kMB);
+  EXPECT_EQ(buf.drop_policy(), DropPolicy::kFifoOldest);
+  MessageBuffer prio(kMB, DropPolicy::kLowPriorityFirst);
+  EXPECT_EQ(prio.drop_policy(), DropPolicy::kLowPriorityFirst);
+}
+
+TEST(MessageBuffer, EvictsMultipleForLargeMessage) {
+  MessageBuffer buf(4 * kMB);
+  (void)buf.add(make(MessageId(1)));
+  (void)buf.add(make(MessageId(2)));
+  (void)buf.add(make(MessageId(3)));
+  auto outcome = buf.add(make(MessageId(4), 3 * kMB));
+  EXPECT_EQ(outcome.result, MessageBuffer::AddResult::kAdded);
+  EXPECT_EQ(outcome.evicted.size(), 2u);
+  EXPECT_EQ(buf.used_bytes(), 4 * kMB);
+}
+
+TEST(MessageBuffer, RemoveFreesSpace) {
+  MessageBuffer buf(2 * kMB);
+  (void)buf.add(make(MessageId(1)));
+  EXPECT_TRUE(buf.remove(MessageId(1)));
+  EXPECT_FALSE(buf.remove(MessageId(1)));
+  EXPECT_EQ(buf.used_bytes(), 0u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(MessageBuffer, DropExpiredReturnsDropped) {
+  MessageBuffer buf(10 * kMB);
+  Message fresh = make(MessageId(1));
+  Message stale = make(MessageId(2));
+  stale.set_ttl(SimTime::seconds(10));
+  (void)buf.add(std::move(fresh));
+  (void)buf.add(std::move(stale));
+  const auto dropped = buf.drop_expired(SimTime::seconds(100));
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].id(), MessageId(2));
+  EXPECT_TRUE(buf.contains(MessageId(1)));
+  EXPECT_EQ(buf.used_bytes(), kMB);
+}
+
+TEST(MessageBuffer, MessagesInInsertionOrder) {
+  MessageBuffer buf(10 * kMB);
+  (void)buf.add(make(MessageId(3)));
+  (void)buf.add(make(MessageId(1)));
+  (void)buf.add(make(MessageId(2)));
+  const auto msgs = buf.messages();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0]->id(), MessageId(3));
+  EXPECT_EQ(msgs[1]->id(), MessageId(1));
+  EXPECT_EQ(msgs[2]->id(), MessageId(2));
+}
+
+TEST(MessageBuffer, FindMutableAllowsEnrichment) {
+  MessageBuffer buf(10 * kMB);
+  (void)buf.add(make(MessageId(1)));
+  Message* m = buf.find_mutable(MessageId(1));
+  ASSERT_NE(m, nullptr);
+  m->annotate({KeywordId(9), NodeId(5), true});
+  EXPECT_TRUE(buf.find(MessageId(1))->has_keyword(KeywordId(9)));
+}
+
+TEST(MessageBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(MessageBuffer(0), std::invalid_argument);
+}
+
+// Property: used_bytes is always the sum of stored message sizes.
+TEST(MessageBuffer, UsedBytesInvariantUnderChurn) {
+  MessageBuffer buf(8 * kMB);
+  util::MessageId::underlying next = 0;
+  for (int round = 0; round < 200; ++round) {
+    (void)buf.add(make(MessageId(next++), ((round % 3) + 1) * kMB / 2));
+    if (round % 5 == 0 && !buf.empty()) {
+      (void)buf.remove(buf.messages().front()->id());
+    }
+    std::uint64_t sum = 0;
+    for (const Message* m : buf.messages()) sum += m->size_bytes();
+    ASSERT_EQ(sum, buf.used_bytes());
+    ASSERT_LE(buf.used_bytes(), buf.capacity_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace dtnic::msg

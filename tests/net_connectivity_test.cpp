@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mobility/stationary.h"
+#include "mobility/waypoint_trace.h"
+#include "net/connectivity.h"
+#include "net/contact_trace.h"
+#include "net/transfer.h"
+#include "sim/simulator.h"
+
+namespace dtnic::net {
+namespace {
+
+using mobility::Stationary;
+using mobility::WaypointTrace;
+using util::NodeId;
+using util::SimTime;
+using util::Vec2;
+
+struct LinkEvent {
+  bool up;
+  NodeId a;
+  NodeId b;
+  double time_s;
+};
+
+class ConnectivityFixture : public ::testing::Test {
+ protected:
+  ConnectivityFixture() : manager(sim, radio, SimTime::seconds(1.0)) {
+    manager.on_link_up([this](NodeId a, NodeId b, double) {
+      events.push_back({true, a, b, sim.now().sec()});
+    });
+    manager.on_link_down([this](NodeId a, NodeId b) {
+      events.push_back({false, a, b, sim.now().sec()});
+    });
+  }
+
+  RadioParams radio;  // 100 m range
+  sim::Simulator sim;
+  ConnectivityManager manager;
+  std::vector<LinkEvent> events;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models;
+
+  NodeId add(std::unique_ptr<mobility::MobilityModel> m) {
+    const NodeId id(static_cast<NodeId::underlying>(models.size()));
+    models.push_back(std::move(m));
+    manager.add_node(id, models.back().get());
+    return id;
+  }
+};
+
+TEST_F(ConnectivityFixture, DetectsStaticNeighbors) {
+  const NodeId a = add(std::make_unique<Stationary>(Vec2{0, 0}));
+  const NodeId b = add(std::make_unique<Stationary>(Vec2{50, 0}));
+  const NodeId c = add(std::make_unique<Stationary>(Vec2{500, 0}));
+  manager.scan();
+  EXPECT_TRUE(manager.connected(a, b));
+  EXPECT_FALSE(manager.connected(a, c));
+  EXPECT_EQ(manager.active_links(), 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].up);
+}
+
+TEST_F(ConnectivityFixture, NoDuplicateLinkUpAcrossScans) {
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  (void)add(std::make_unique<Stationary>(Vec2{10, 0}));
+  manager.scan();
+  manager.scan();
+  manager.scan();
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_EQ(manager.contacts_formed(), 1u);
+}
+
+TEST_F(ConnectivityFixture, LinkDownWhenMovingApart) {
+  // b walks away from a: in range until t=10, out of range after.
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  (void)add(std::make_unique<WaypointTrace>(std::vector<WaypointTrace::Keyframe>{
+      {SimTime::seconds(0), {50, 0}}, {SimTime::seconds(20), {250, 0}}}));
+  manager.start();
+  sim.run_until(SimTime::seconds(20));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].up);
+  EXPECT_FALSE(events[1].up);
+  // leaves 100 m range when 50 + 10t > 100 => t > 5.
+  EXPECT_GT(events[1].time_s, 5.0);
+  EXPECT_LE(events[1].time_s, 7.0);
+  EXPECT_EQ(manager.active_links(), 0u);
+}
+
+TEST_F(ConnectivityFixture, ReencounterFormsNewContact) {
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  (void)add(std::make_unique<WaypointTrace>(std::vector<WaypointTrace::Keyframe>{
+      {SimTime::seconds(0), {50, 0}},
+      {SimTime::seconds(10), {300, 0}},
+      {SimTime::seconds(20), {50, 0}}}));
+  manager.start();
+  sim.run_until(SimTime::seconds(25));
+  EXPECT_EQ(manager.contacts_formed(), 2u);
+  EXPECT_TRUE(manager.connected(NodeId(0), NodeId(1)));
+}
+
+TEST_F(ConnectivityFixture, GateSuppressesContact) {
+  const NodeId a = add(std::make_unique<Stationary>(Vec2{0, 0}));
+  const NodeId b = add(std::make_unique<Stationary>(Vec2{10, 0}));
+  manager.set_participation_gate([](NodeId id) { return id.value() != 1; });
+  manager.scan();
+  EXPECT_FALSE(manager.connected(a, b));
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(manager.contacts_suppressed(), 1u);
+  // The gate is consulted once per encounter: later scans do not retry.
+  manager.scan();
+  EXPECT_EQ(manager.contacts_suppressed(), 1u);
+}
+
+TEST_F(ConnectivityFixture, NeighborsSortedAndSymmetric) {
+  const NodeId a = add(std::make_unique<Stationary>(Vec2{0, 0}));
+  const NodeId b = add(std::make_unique<Stationary>(Vec2{50, 0}));
+  const NodeId c = add(std::make_unique<Stationary>(Vec2{0, 50}));
+  manager.scan();
+  const auto na = manager.neighbors_of(a);
+  ASSERT_EQ(na.size(), 2u);
+  EXPECT_EQ(na[0], b);
+  EXPECT_EQ(na[1], c);
+  EXPECT_EQ(manager.neighbors_of(b).size(), 2u);  // b-c are 70.7 m apart
+}
+
+TEST_F(ConnectivityFixture, ConnectedPairsSorted) {
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  (void)add(std::make_unique<Stationary>(Vec2{10, 0}));
+  (void)add(std::make_unique<Stationary>(Vec2{20, 0}));
+  manager.scan();
+  const auto pairs = manager.connected_pairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_LT(pairs[0], pairs[1]);
+  EXPECT_LT(pairs[1], pairs[2]);
+}
+
+TEST_F(ConnectivityFixture, DuplicateNodeRejected) {
+  const NodeId a = add(std::make_unique<Stationary>(Vec2{0, 0}));
+  EXPECT_THROW(manager.add_node(a, models[0].get()), std::invalid_argument);
+}
+
+TEST_F(ConnectivityFixture, PositionOfTracksMobility) {
+  const NodeId a = add(std::make_unique<Stationary>(Vec2{12, 34}));
+  EXPECT_EQ(manager.position_of(a), (Vec2{12, 34}));
+  EXPECT_THROW((void)manager.position_of(NodeId(99)), std::invalid_argument);
+}
+
+// --- TransferManager -------------------------------------------------------------
+
+class TransferFixture : public ::testing::Test {
+ protected:
+  TransferFixture() : tm(sim, 250'000.0) {
+    tm.on_complete([this](const TransferManager::Transfer& t, SimTime d) {
+      completed.push_back(t);
+      durations.push_back(d.sec());
+    });
+    tm.on_abort([this](const TransferManager::Transfer& t) { aborted.push_back(t); });
+  }
+
+  sim::Simulator sim;
+  TransferManager tm;
+  std::vector<TransferManager::Transfer> completed;
+  std::vector<double> durations;
+  std::vector<TransferManager::Transfer> aborted;
+};
+
+TEST_F(TransferFixture, CompletesAfterBandwidthDelay) {
+  tm.link_up(NodeId(0), NodeId(1));
+  ASSERT_TRUE(tm.start(NodeId(0), NodeId(1), util::MessageId(7), 1'000'000));
+  EXPECT_TRUE(tm.link_busy(NodeId(0), NodeId(1)));
+  sim.run_until(SimTime::seconds(10));
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_DOUBLE_EQ(durations[0], 4.0);  // 1 MB at 250 kB/s
+  EXPECT_EQ(completed[0].message, util::MessageId(7));
+  EXPECT_FALSE(tm.link_busy(NodeId(0), NodeId(1)));
+  EXPECT_EQ(tm.transfers_completed(), 1u);
+  EXPECT_EQ(tm.bytes_delivered(), 1'000'000u);
+}
+
+TEST_F(TransferFixture, OneTransferPerLink) {
+  tm.link_up(NodeId(0), NodeId(1));
+  ASSERT_TRUE(tm.start(NodeId(0), NodeId(1), util::MessageId(1), 1000));
+  EXPECT_FALSE(tm.start(NodeId(0), NodeId(1), util::MessageId(2), 1000));
+  EXPECT_FALSE(tm.start(NodeId(1), NodeId(0), util::MessageId(3), 1000));  // same link
+}
+
+TEST_F(TransferFixture, NoLinkNoTransfer) {
+  EXPECT_FALSE(tm.start(NodeId(0), NodeId(1), util::MessageId(1), 1000));
+  EXPECT_FALSE(tm.link_exists(NodeId(0), NodeId(1)));
+}
+
+TEST_F(TransferFixture, LinkDownAbortsInFlight) {
+  tm.link_up(NodeId(0), NodeId(1));
+  ASSERT_TRUE(tm.start(NodeId(0), NodeId(1), util::MessageId(5), 1'000'000));
+  (void)sim.schedule_at(SimTime::seconds(2), [this] { tm.link_down(NodeId(0), NodeId(1)); });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_TRUE(completed.empty());
+  ASSERT_EQ(aborted.size(), 1u);
+  EXPECT_EQ(aborted[0].message, util::MessageId(5));
+  EXPECT_EQ(tm.transfers_aborted(), 1u);
+  EXPECT_FALSE(tm.link_exists(NodeId(0), NodeId(1)));
+}
+
+TEST_F(TransferFixture, LinkDownWithoutTransferIsQuiet) {
+  tm.link_up(NodeId(0), NodeId(1));
+  tm.link_down(NodeId(0), NodeId(1));
+  tm.link_down(NodeId(0), NodeId(1));  // idempotent
+  EXPECT_TRUE(aborted.empty());
+}
+
+TEST_F(TransferFixture, SequentialTransfersOnSameLink) {
+  tm.link_up(NodeId(0), NodeId(1));
+  ASSERT_TRUE(tm.start(NodeId(0), NodeId(1), util::MessageId(1), 250'000));
+  sim.run_until(SimTime::seconds(1.5));
+  ASSERT_TRUE(tm.start(NodeId(1), NodeId(0), util::MessageId(2), 250'000));
+  sim.run_until(SimTime::seconds(5));
+  ASSERT_EQ(completed.size(), 2u);
+  EXPECT_EQ(completed[0].from, NodeId(0));
+  EXPECT_EQ(completed[1].from, NodeId(1));
+}
+
+TEST_F(TransferFixture, DurationForMatchesBitrate) {
+  EXPECT_DOUBLE_EQ(tm.duration_for(500'000).sec(), 2.0);
+}
+
+TEST_F(TransferFixture, InvalidStartArgsRejected) {
+  tm.link_up(NodeId(0), NodeId(1));
+  EXPECT_THROW((void)tm.start(NodeId(0), NodeId(1), util::MessageId(1), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)tm.start(NodeId(0), NodeId(1), util::MessageId(), 10),
+               std::invalid_argument);
+}
+
+// --- ContactTrace -----------------------------------------------------------------
+
+TEST(ContactTrace, RecordsDurations) {
+  ContactTrace trace;
+  trace.record_up(NodeId(0), NodeId(1), SimTime::seconds(10));
+  trace.record_down(NodeId(1), NodeId(0), SimTime::seconds(25));  // order-insensitive
+  trace.finalize(SimTime::seconds(100));
+  ASSERT_EQ(trace.count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.contacts()[0].duration().sec(), 15.0);
+  EXPECT_DOUBLE_EQ(trace.mean_duration_s(), 15.0);
+}
+
+TEST(ContactTrace, FinalizeClosesOpenContacts) {
+  ContactTrace trace;
+  trace.record_up(NodeId(0), NodeId(1), SimTime::seconds(90));
+  trace.finalize(SimTime::seconds(100));
+  ASSERT_EQ(trace.count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.contacts()[0].duration().sec(), 10.0);
+}
+
+TEST(ContactTrace, DownWithoutUpIgnored) {
+  ContactTrace trace;
+  trace.record_down(NodeId(0), NodeId(1), SimTime::seconds(5));
+  trace.finalize(SimTime::seconds(10));
+  EXPECT_EQ(trace.count(), 0u);
+}
+
+TEST(ContactTrace, SortedByStartAfterFinalize) {
+  ContactTrace trace;
+  trace.record_up(NodeId(2), NodeId(3), SimTime::seconds(50));
+  trace.record_up(NodeId(0), NodeId(1), SimTime::seconds(10));
+  trace.record_down(NodeId(2), NodeId(3), SimTime::seconds(60));
+  trace.record_down(NodeId(0), NodeId(1), SimTime::seconds(20));
+  trace.finalize(SimTime::seconds(100));
+  ASSERT_EQ(trace.count(), 2u);
+  EXPECT_LT(trace.contacts()[0].up, trace.contacts()[1].up);
+  EXPECT_DOUBLE_EQ(trace.total_contact_time_s(), 20.0);
+}
+
+}  // namespace
+}  // namespace dtnic::net

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "net/energy.h"
+#include "net/spatial_grid.h"
+#include "util/rng.h"
+
+namespace dtnic::net {
+namespace {
+
+using util::NodeId;
+using util::Vec2;
+
+// --- SpatialGrid ---------------------------------------------------------------
+
+TEST(SpatialGrid, FindsNeighborsWithinRadius) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {0, 0});
+  grid.insert(NodeId(1), {50, 0});
+  grid.insert(NodeId(2), {150, 0});
+  const auto n = grid.neighbors_of({0, 0}, 100.0, NodeId(0));
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], NodeId(1));
+}
+
+TEST(SpatialGrid, ExcludesSelf) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {0, 0});
+  EXPECT_TRUE(grid.neighbors_of({0, 0}, 100.0, NodeId(0)).empty());
+}
+
+TEST(SpatialGrid, PairsAcrossCellBoundaries) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {99, 50});
+  grid.insert(NodeId(1), {101, 50});  // adjacent cell, 2 m apart
+  const auto pairs = grid.pairs_within(100.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, NodeId(0));
+  EXPECT_EQ(pairs[0].b, NodeId(1));
+  EXPECT_NEAR(pairs[0].distance_m, 2.0, 1e-9);
+}
+
+TEST(SpatialGrid, DiagonalCellPairs) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {99, 99});
+  grid.insert(NodeId(1), {101, 101});  // diagonal neighbor cell
+  EXPECT_EQ(grid.pairs_within(100.0).size(), 1u);
+}
+
+TEST(SpatialGrid, RadiusLargerThanCellRejected) {
+  SpatialGrid grid(50.0);
+  EXPECT_THROW((void)grid.pairs_within(60.0), std::invalid_argument);
+}
+
+TEST(SpatialGrid, ClearKeepsNothing) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {0, 0});
+  grid.insert(NodeId(1), {10, 0});
+  grid.clear();
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.pairs_within(100.0).empty());
+}
+
+/// Property: grid pair detection matches brute force over random layouts.
+class GridVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridVsBruteForce, MatchesExactly) {
+  util::Rng rng(GetParam());
+  const double radius = 100.0;
+  const int n = 120;
+  std::vector<Vec2> pos(n);
+  SpatialGrid grid(radius);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(0.0, 1500.0), rng.uniform(0.0, 1500.0)};
+    grid.insert(NodeId(i), pos[i]);
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> brute;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (util::distance_sq(pos[i], pos[j]) <= radius * radius) {
+        brute.insert({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+      }
+    }
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> fast;
+  for (const auto& p : grid.pairs_within(radius)) {
+    fast.insert({p.a.value(), p.b.value()});
+  }
+  EXPECT_EQ(brute, fast);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridVsBruteForce,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- Friis model ------------------------------------------------------------------
+
+TEST(Friis, PathLossFormula) {
+  const double lambda = 0.125;
+  const double r = 100.0;
+  const double expected = std::pow(4.0 * std::numbers::pi * r / lambda, 2.0);
+  EXPECT_NEAR(FriisModel::path_loss(r, lambda), expected, expected * 1e-12);
+}
+
+TEST(Friis, LossGrowsQuadratically) {
+  const double l1 = FriisModel::path_loss(10.0, 0.125);
+  const double l2 = FriisModel::path_loss(20.0, 0.125);
+  EXPECT_NEAR(l2 / l1, 4.0, 1e-9);
+}
+
+TEST(Friis, NearFieldFloorPreventsGain) {
+  // At distance 0 the loss is floored at one wavelength, never < 1.
+  EXPECT_GE(FriisModel::path_loss(0.0, 0.125), 1.0);
+  EXPECT_GE(FriisModel::received_power(1.0, 0.0, 0.125), 0.0);
+  EXPECT_LE(FriisModel::received_power(1.0, 0.0, 0.125), 1.0);
+}
+
+TEST(Friis, ReceivedPowerScalesWithTx) {
+  const double p1 = FriisModel::received_power(0.1, 50.0, 0.125);
+  const double p2 = FriisModel::received_power(0.2, 50.0, 0.125);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+TEST(Friis, InvalidInputsRejected) {
+  EXPECT_THROW((void)FriisModel::path_loss(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)FriisModel::path_loss(-1.0, 0.125), std::invalid_argument);
+  EXPECT_THROW((void)FriisModel::received_power(-0.1, 10.0, 0.125), std::invalid_argument);
+}
+
+// --- Battery ------------------------------------------------------------------------
+
+TEST(Battery, ConsumeAccumulates) {
+  Battery b(100.0);
+  b.consume(30.0);
+  b.consume(20.0);
+  EXPECT_DOUBLE_EQ(b.consumed_j(), 50.0);
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 50.0);
+  EXPECT_DOUBLE_EQ(b.level(), 0.5);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DepletionClampsRemaining) {
+  Battery b(10.0);
+  b.consume(15.0);
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 0.0);
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+}
+
+TEST(Battery, TxRxDrawFromRadioParams) {
+  RadioParams radio;
+  radio.tx_power_w = 0.1;
+  radio.rx_circuit_power_w = 0.05;
+  Battery b(100.0);
+  b.consume_tx(radio, util::SimTime::seconds(10));
+  EXPECT_DOUBLE_EQ(b.consumed_j(), 1.0);
+  b.consume_rx(radio, util::SimTime::seconds(10));
+  EXPECT_DOUBLE_EQ(b.consumed_j(), 1.5);
+}
+
+TEST(Battery, InvalidUseRejected) {
+  EXPECT_THROW(Battery(0.0), std::invalid_argument);
+  Battery b(1.0);
+  EXPECT_THROW(b.consume(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtnic::net

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "routing/nectar.h"
+#include "routing/prophet.h"
+#include "routing/two_hop.h"
+#include "test_helpers.h"
+
+namespace dtnic::routing {
+namespace {
+
+using test::MicroWorld;
+using util::SimTime;
+
+constexpr auto kT0 = SimTime::zero();
+
+// --- ProphetRouter -------------------------------------------------------------
+
+class ProphetFixture : public ::testing::Test {
+ protected:
+  ProphetFixture() : factory(w.keywords) {}
+
+  Host& make_node(const std::vector<std::string>& interests) {
+    Host& h = w.add_host();
+    h.set_router(std::make_unique<ProphetRouter>(w.oracle, params));
+    std::vector<msg::KeywordId> kws;
+    for (const auto& name : interests) kws.push_back(w.keywords.intern(name));
+    w.oracle.set_interests(h.id(), kws);
+    return h;
+  }
+
+  MicroWorld w;
+  test::MessageFactory factory;
+  ProphetParams params;
+};
+
+TEST_F(ProphetFixture, MeetingSubscriberRaisesPredictability) {
+  Host& a = make_node({});
+  Host& subscriber = make_node({"flood"});
+  auto* router = ProphetRouter::of(a);
+  const auto flood = w.keywords.find("flood");
+  EXPECT_DOUBLE_EQ(router->predictability(flood), 0.0);
+  w.link_up(a, subscriber, kT0);
+  EXPECT_DOUBLE_EQ(router->predictability(flood), params.p_init);
+  // Meeting again pushes it closer to 1: the value ages by γ^(Δt/τ) first,
+  // then P += (1-P)·P_init.
+  w.link_up(a, subscriber, SimTime::seconds(10));
+  const double aged = 0.75 * std::pow(0.98, 10.0 / 30.0);
+  EXPECT_NEAR(router->predictability(flood), aged + (1.0 - aged) * 0.75, 1e-12);
+}
+
+TEST_F(ProphetFixture, PredictabilityAges) {
+  Host& a = make_node({});
+  Host& subscriber = make_node({"flood"});
+  Host& nobody = make_node({});
+  w.link_up(a, subscriber, kT0);
+  auto* router = ProphetRouter::of(a);
+  const auto flood = w.keywords.find("flood");
+  const double fresh = router->predictability(flood);
+  // A later contact triggers aging: γ^(Δt/τ) with γ=0.98, τ=30 s.
+  w.link_up(a, nobody, SimTime::seconds(3000));
+  EXPECT_LT(router->predictability(flood), fresh * 0.2);
+}
+
+TEST_F(ProphetFixture, TransitivityThroughPeer) {
+  Host& a = make_node({});
+  Host& b = make_node({});
+  Host& subscriber = make_node({"flood"});
+  w.link_up(b, subscriber, kT0);  // b learns the path
+  w.link_up(a, b, SimTime::seconds(1));
+  auto* router = ProphetRouter::of(a);
+  const auto flood = w.keywords.find("flood");
+  EXPECT_GT(router->predictability(flood), 0.0);
+  EXPECT_LT(router->predictability(flood), ProphetRouter::of(b)->predictability(flood));
+}
+
+TEST_F(ProphetFixture, ForwardsOnlyTowardBetterCarriers) {
+  Host& src = make_node({});
+  Host& good = make_node({});
+  Host& clueless = make_node({});
+  Host& subscriber = make_node({"flood"});
+  w.link_up(good, subscriber, kT0);
+
+  auto m = factory.make(src.id(), {"flood"});
+  const auto id = m.id();
+  src.mark_seen(id);
+  (void)src.buffer().add(std::move(m), true);
+
+  w.link_up(src, clueless, SimTime::seconds(5));
+  EXPECT_EQ(w.exchange(src, clueless, SimTime::seconds(5)), 0);  // P equal (0)
+  w.link_up(src, good, SimTime::seconds(6));
+  EXPECT_EQ(w.exchange(src, good, SimTime::seconds(6)), 1);
+  EXPECT_TRUE(good.buffer().contains(id));
+}
+
+TEST_F(ProphetFixture, DeliversToSubscriberDirectly) {
+  Host& src = make_node({});
+  Host& subscriber = make_node({"flood"});
+  auto m = factory.make(src.id(), {"flood"});
+  src.mark_seen(m.id());
+  (void)src.buffer().add(std::move(m), true);
+  w.link_up(src, subscriber, kT0);
+  EXPECT_EQ(w.exchange(src, subscriber, kT0), 1);
+  ASSERT_EQ(w.events.deliveries.size(), 1u);
+}
+
+TEST_F(ProphetFixture, InvalidParamsRejected) {
+  ProphetParams bad;
+  bad.p_init = 0.0;
+  MicroWorld w2;
+  EXPECT_THROW(ProphetRouter(w2.oracle, bad), std::invalid_argument);
+  bad = {};
+  bad.gamma = 1.5;
+  EXPECT_THROW(ProphetRouter(w2.oracle, bad), std::invalid_argument);
+}
+
+// --- NectarRouter --------------------------------------------------------------
+
+class NectarFixture : public ::testing::Test {
+ protected:
+  NectarFixture() : factory(w.keywords) {}
+
+  Host& make_node(const std::vector<std::string>& interests) {
+    Host& h = w.add_host();
+    h.set_router(std::make_unique<NectarRouter>(w.oracle, params));
+    std::vector<msg::KeywordId> kws;
+    for (const auto& name : interests) kws.push_back(w.keywords.intern(name));
+    w.oracle.set_interests(h.id(), kws);
+    return h;
+  }
+
+  MicroWorld w;
+  test::MessageFactory factory;
+  NectarParams params;
+};
+
+TEST_F(NectarFixture, MeetingFrequencyAccumulatesAndDecays) {
+  Host& a = make_node({});
+  Host& b = make_node({});
+  auto* router = NectarRouter::of(a);
+  EXPECT_DOUBLE_EQ(router->index_of(b.id(), kT0), 0.0);
+  w.link_up(a, b, kT0);
+  EXPECT_DOUBLE_EQ(router->index_of(b.id(), kT0), 1.0);
+  w.link_up(a, b, SimTime::hours(1));
+  // First meeting decayed by e^-0.1 over one hour, plus the new one.
+  EXPECT_NEAR(router->index_of(b.id(), SimTime::hours(1)), 1.0 + std::exp(-0.1), 1e-9);
+  // Long silence decays the index toward zero.
+  EXPECT_LT(router->index_of(b.id(), SimTime::hours(200)), 1e-3);
+}
+
+TEST_F(NectarFixture, ForwardsToFrequentMeeters) {
+  Host& src = make_node({});
+  Host& courier = make_node({});
+  Host& stranger = make_node({});
+  Host& subscriber = make_node({"flood"});
+  // The courier meets the subscriber often.
+  for (int i = 0; i < 3; ++i) {
+    w.link_up(courier, subscriber, SimTime::minutes(i * 10));
+  }
+  auto m = factory.make(src.id(), {"flood"});
+  const auto id = m.id();
+  src.mark_seen(id);
+  (void)src.buffer().add(std::move(m), true);
+
+  const auto t = SimTime::hours(1);
+  w.link_up(src, stranger, t);
+  EXPECT_EQ(w.exchange(src, stranger, t), 0);
+  w.link_up(src, courier, t + SimTime::seconds(5));
+  EXPECT_EQ(w.exchange(src, courier, t + SimTime::seconds(5)), 1);
+  EXPECT_TRUE(courier.buffer().contains(id));
+}
+
+// --- TwoHopRouter ---------------------------------------------------------------
+
+class TwoHopFixture : public ::testing::Test {
+ protected:
+  TwoHopFixture() : factory(w.keywords) {}
+
+  Host& make_node(const std::vector<std::string>& interests) {
+    Host& h = w.add_host();
+    h.set_router(std::make_unique<TwoHopRouter>(w.oracle));
+    std::vector<msg::KeywordId> kws;
+    for (const auto& name : interests) kws.push_back(w.keywords.intern(name));
+    w.oracle.set_interests(h.id(), kws);
+    return h;
+  }
+
+  MicroWorld w;
+  test::MessageFactory factory;
+};
+
+TEST_F(TwoHopFixture, SourceSpraysRelaysHold) {
+  Host& src = make_node({});
+  Host& relay = make_node({});
+  Host& relay2 = make_node({});
+  Host& dest = make_node({"flood"});
+
+  auto m = factory.make(src.id(), {"flood"});
+  const auto id = m.id();
+  src.mark_seen(id);
+  (void)src.buffer().add(std::move(m), true);
+
+  // Source -> relay: sprayed.
+  EXPECT_EQ(w.exchange(src, relay, kT0), 1);
+  // Relay -> another relay: held (two-hop limit).
+  EXPECT_EQ(w.exchange(relay, relay2, kT0), 0);
+  // Relay -> destination: delivered.
+  EXPECT_EQ(w.exchange(relay, dest, kT0), 1);
+  ASSERT_EQ(w.events.deliveries.size(), 1u);
+  EXPECT_EQ(w.events.deliveries[0].to, dest.id());
+}
+
+TEST_F(TwoHopFixture, SourceDeliversDirectlyToo) {
+  Host& src = make_node({});
+  Host& dest = make_node({"flood"});
+  auto m = factory.make(src.id(), {"flood"});
+  src.mark_seen(m.id());
+  (void)src.buffer().add(std::move(m), true);
+  EXPECT_EQ(w.exchange(src, dest, kT0), 1);
+}
+
+}  // namespace
+}  // namespace dtnic::routing

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace dtnic::sim {
+namespace {
+
+using util::SimTime;
+
+// --- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  (void)q.push(SimTime::seconds(3), [&] { fired.push_back(3); });
+  (void)q.push(SimTime::seconds(1), [&] { fired.push_back(1); });
+  (void)q.push(SimTime::seconds(2), [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    (void)q.push(SimTime::seconds(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(SimTime::seconds(1), [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  q.cancel(id);  // double-cancel is harmless
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  (void)q.push(SimTime::seconds(1), [&] { fired.push_back(1); });
+  const EventId mid = q.push(SimTime::seconds(2), [&] { fired.push_back(2); });
+  (void)q.push(SimTime::seconds(3), [&] { fired.push_back(3); });
+  q.cancel(mid);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId first = q.push(SimTime::seconds(1), [] {});
+  (void)q.push(SimTime::seconds(2), [] {});
+  q.cancel(first);
+  EXPECT_DOUBLE_EQ(q.next_time().sec(), 2.0);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), std::invalid_argument);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW((void)q.push(SimTime::zero(), EventFn{}), std::invalid_argument);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(SimTime::seconds(1), [] {});
+  (void)q.push(SimTime::seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// --- Simulator ---------------------------------------------------------------
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1.0;
+  (void)sim.schedule_at(SimTime::seconds(10), [&] { seen = sim.now().sec(); });
+  sim.run_until(SimTime::seconds(20));
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 20.0);  // clock lands on the horizon
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> at;
+  (void)sim.schedule_at(SimTime::seconds(5), [&] {
+    (void)sim.schedule_in(SimTime::seconds(3), [&] { at.push_back(sim.now().sec()); });
+  });
+  sim.run_until(SimTime::seconds(100));
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_DOUBLE_EQ(at[0], 8.0);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  (void)sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_THROW((void)sim.schedule_at(SimTime::seconds(3), [] {}), std::invalid_argument);
+  EXPECT_THROW((void)sim.schedule_in(SimTime::seconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, HorizonExcludesLaterEvents) {
+  Simulator sim;
+  bool late = false;
+  (void)sim.schedule_at(SimTime::seconds(50), [&] { late = true; });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(SimTime::seconds(100));
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  (void)sim.schedule_every(SimTime::seconds(10), [&] { ++count; });
+  sim.run_until(SimTime::seconds(55));
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+}
+
+TEST(Simulator, PeriodicFromFirstTime) {
+  Simulator sim;
+  std::vector<double> at;
+  (void)sim.schedule_every_from(SimTime::zero(), SimTime::seconds(20),
+                                [&] { at.push_back(sim.now().sec()); });
+  sim.run_until(SimTime::seconds(45));
+  EXPECT_EQ(at, (std::vector<double>{0.0, 20.0, 40.0}));
+}
+
+TEST(Simulator, CancelStopsPeriodic) {
+  Simulator sim;
+  int count = 0;
+  const EventId id = sim.schedule_every(SimTime::seconds(1), [&] { ++count; });
+  (void)sim.schedule_at(SimTime::seconds(3.5), [&] { sim.cancel(id); });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int count = 0;
+  EventId id{};
+  id = sim.schedule_every(SimTime::seconds(1), [&] {
+    if (++count == 2) sim.cancel(id);
+  });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  (void)sim.schedule_every(SimTime::seconds(1), [&] {
+    if (++count == 3) sim.stop();
+  });
+  sim.run_until(SimTime::seconds(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_LT(sim.now().sec(), 100.0);
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) (void)sim.schedule_at(SimTime::seconds(i + 1), [] {});
+  sim.run_until(SimTime::seconds(100));
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, RunDrainsQueue) {
+  Simulator sim;
+  int fired = 0;
+  (void)sim.schedule_at(SimTime::seconds(1), [&] {
+    ++fired;
+    (void)sim.schedule_in(SimTime::seconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> order;
+    (void)sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+    (void)sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(2); });
+    (void)sim.schedule_every_from(SimTime::seconds(1), SimTime::seconds(1),
+                                  [&] { order.push_back(3); });
+    sim.run_until(SimTime::seconds(2));
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dtnic::sim

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "stats/metrics.h"
+#include "stats/time_series.h"
+#include "test_helpers.h"
+
+namespace dtnic::stats {
+namespace {
+
+using routing::NodeId;
+using util::SimTime;
+
+msg::Message make(util::MessageId id, msg::Priority p = msg::Priority::kMedium) {
+  return msg::Message(id, NodeId(0), SimTime::zero(), 1024, p, 0.8);
+}
+
+TEST(MetricsCollector, MdrCountsUniqueDeliveries) {
+  MetricsCollector m;
+  const auto a = make(util::MessageId(1));
+  const auto b = make(util::MessageId(2));
+  m.on_created(a);
+  m.on_created(b);
+  m.on_delivered(NodeId(0), NodeId(1), a);
+  m.on_delivered(NodeId(0), NodeId(2), a);  // second destination, same message
+  EXPECT_EQ(m.created(), 2u);
+  EXPECT_EQ(m.delivered_unique(), 1u);
+  EXPECT_EQ(m.deliveries_total(), 2u);
+  EXPECT_DOUBLE_EQ(m.mdr(), 0.5);
+}
+
+TEST(MetricsCollector, EmptyMdrIsZero) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.mdr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mdr_for(msg::Priority::kHigh), 0.0);
+}
+
+TEST(MetricsCollector, PriorityBuckets) {
+  MetricsCollector m;
+  const auto high = make(util::MessageId(1), msg::Priority::kHigh);
+  const auto low1 = make(util::MessageId(2), msg::Priority::kLow);
+  const auto low2 = make(util::MessageId(3), msg::Priority::kLow);
+  m.on_created(high);
+  m.on_created(low1);
+  m.on_created(low2);
+  m.on_delivered(NodeId(0), NodeId(1), high);
+  m.on_delivered(NodeId(0), NodeId(1), low1);
+  EXPECT_DOUBLE_EQ(m.mdr_for(msg::Priority::kHigh), 1.0);
+  EXPECT_DOUBLE_EQ(m.mdr_for(msg::Priority::kLow), 0.5);
+  EXPECT_EQ(m.created_for(msg::Priority::kLow), 2u);
+  EXPECT_EQ(m.delivered_for(msg::Priority::kLow), 1u);
+  EXPECT_EQ(m.created_for(msg::Priority::kMedium), 0u);
+}
+
+TEST(MetricsCollector, TrafficCountsTransferStarts) {
+  MetricsCollector m;
+  const auto a = make(util::MessageId(1));
+  m.on_transfer_started(NodeId(0), NodeId(1), a, routing::TransferRole::kRelay);
+  m.on_transfer_started(NodeId(1), NodeId(2), a, routing::TransferRole::kDestination);
+  m.on_relayed(NodeId(0), NodeId(1), a);
+  EXPECT_EQ(m.traffic(), 2u);
+  EXPECT_EQ(m.relay_arrivals(), 1u);
+}
+
+TEST(MetricsCollector, RefusalBuckets) {
+  MetricsCollector m;
+  const auto a = make(util::MessageId(1));
+  m.on_refused(NodeId(0), NodeId(1), a, routing::AcceptDecision::kNoTokens);
+  m.on_refused(NodeId(0), NodeId(1), a, routing::AcceptDecision::kUntrustedSender);
+  m.on_refused(NodeId(0), NodeId(1), a, routing::AcceptDecision::kDuplicate);
+  m.on_refused(NodeId(0), NodeId(1), a, routing::AcceptDecision::kRefused);
+  EXPECT_EQ(m.refused_no_tokens(), 1u);
+  EXPECT_EQ(m.refused_untrusted(), 1u);
+  EXPECT_EQ(m.refused_duplicates(), 1u);
+}
+
+TEST(MetricsCollector, DropsAndAborts) {
+  MetricsCollector m;
+  const auto a = make(util::MessageId(1));
+  m.on_dropped(NodeId(0), a, routing::DropReason::kBufferFull);
+  m.on_dropped(NodeId(0), a, routing::DropReason::kTtlExpired);
+  m.on_aborted(NodeId(0), NodeId(1), a.id());
+  EXPECT_EQ(m.dropped_buffer(), 1u);
+  EXPECT_EQ(m.dropped_ttl(), 1u);
+  EXPECT_EQ(m.aborted(), 1u);
+}
+
+TEST(MetricsCollector, PaymentsAggregate) {
+  MetricsCollector m;
+  m.on_tokens_paid(NodeId(0), NodeId(1), 2.5);
+  m.on_tokens_paid(NodeId(2), NodeId(1), 1.5);
+  EXPECT_DOUBLE_EQ(m.tokens_paid_total(), 4.0);
+  EXPECT_EQ(m.payments(), 2u);
+}
+
+TEST(MetricsCollector, HopsAndLatencyOverFirstDeliveries) {
+  MetricsCollector m;
+  auto a = make(util::MessageId(1));
+  a.record_hop(NodeId(1), SimTime::seconds(100));
+  a.record_hop(NodeId(2), SimTime::seconds(300));
+  m.on_created(a);
+  m.on_delivered(NodeId(1), NodeId(2), a);
+  EXPECT_DOUBLE_EQ(m.mean_delivery_hops(), 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_delivery_latency_s(), 300.0);
+  // Duplicate delivery of the same message does not skew the means.
+  auto dup = a;
+  dup.record_hop(NodeId(3), SimTime::seconds(5000));
+  m.on_delivered(NodeId(2), NodeId(3), dup);
+  EXPECT_DOUBLE_EQ(m.mean_delivery_latency_s(), 300.0);
+}
+
+// --- TimeSeries --------------------------------------------------------------------
+
+TEST(TimeSeries, AppendsAndReads) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(SimTime::seconds(0), 1.0);
+  ts.add(SimTime::seconds(10), 2.0);
+  ts.add(SimTime::seconds(20), 3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.first_value(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 3.0);
+}
+
+TEST(TimeSeries, ValueAtStepFunction) {
+  TimeSeries ts;
+  ts.add(SimTime::seconds(10), 1.0);
+  ts.add(SimTime::seconds(20), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(5)), 1.0);   // before first
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(10)), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(15)), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(20)), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(99)), 2.0);
+}
+
+TEST(TimeSeries, EmptyValueAtIsZero) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace dtnic::stats

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+#include "util/string_util.h"
+#include "util/summary.h"
+#include "util/vec2.h"
+
+namespace dtnic::util {
+namespace {
+
+// --- StrongId ---------------------------------------------------------------
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<MessageId> set;
+  set.insert(MessageId(1));
+  set.insert(MessageId(1));
+  set.insert(MessageId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, StreamsValue) {
+  std::ostringstream os;
+  os << NodeId(12) << " " << NodeId();
+  EXPECT_EQ(os.str(), "12 <invalid>");
+}
+
+// --- SimTime ----------------------------------------------------------------
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_DOUBLE_EQ(SimTime::minutes(2).sec(), 120.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(1.5).sec(), 5400.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::seconds(10) + SimTime::seconds(5);
+  EXPECT_DOUBLE_EQ(t.sec(), 15.0);
+  EXPECT_DOUBLE_EQ((t - SimTime::seconds(3)).sec(), 12.0);
+  EXPECT_DOUBLE_EQ((t * 2.0).sec(), 30.0);
+  EXPECT_DOUBLE_EQ((t / 3.0).sec(), 5.0);
+  EXPECT_DOUBLE_EQ(t / SimTime::seconds(5), 3.0);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_GE(SimTime::seconds(2), SimTime::seconds(2));
+}
+
+TEST(SimTime, Infinity) {
+  EXPECT_FALSE(SimTime::infinity().finite());
+  EXPECT_TRUE(SimTime::seconds(1).finite());
+  EXPECT_LT(SimTime::hours(1000000), SimTime::infinity());
+}
+
+// --- Vec2 --------------------------------------------------------------------
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0, 0};
+  const Vec2 b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  const Vec2 mid = lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 v = Vec2{1, 2} + Vec2{3, 4} * 2.0;
+  EXPECT_DOUBLE_EQ(v.x, 7.0);
+  EXPECT_DOUBLE_EQ(v.y, 10.0);
+}
+
+// --- RunningStats -------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(5.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.99), 42.0);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(MeanStddevOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_NEAR(stddev_of({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+// --- string_util ---------------------------------------------------------------
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_THROW((void)parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1.5x"), std::invalid_argument);
+}
+
+TEST(StringUtil, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW((void)parse_int("4.2"), std::invalid_argument);
+}
+
+TEST(StringUtil, ParseBool) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("on"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("no"));
+  EXPECT_THROW((void)parse_bool("maybe"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtnic::util

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace dtnic::util {
+namespace {
+
+// --- Config -------------------------------------------------------------------
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = Config::parse("a = 1\nb= hello world \n # comment\nc =true\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello world");
+  EXPECT_TRUE(cfg.get_bool("c", false));
+}
+
+TEST(Config, InlineComments) {
+  const auto cfg = Config::parse("speed = 2.5 # m/s\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("speed", 0.0), 2.5);
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 9), 9);
+  EXPECT_EQ(cfg.get_string("nope", "x"), "x");
+  EXPECT_FALSE(cfg.has("nope"));
+  EXPECT_FALSE(cfg.get("nope").has_value());
+}
+
+TEST(Config, MalformedLineThrowsWithLineNumber) {
+  try {
+    (void)Config::parse("good = 1\nbad line\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Config, EmptyKeyThrows) {
+  EXPECT_THROW((void)Config::parse(" = 5\n"), std::invalid_argument);
+}
+
+TEST(Config, BadTypedValueThrows) {
+  const auto cfg = Config::parse("x = notanumber\n");
+  EXPECT_THROW((void)cfg.get_int("x", 0), std::invalid_argument);
+}
+
+TEST(Config, SemicolonSeparatedInlineEntries) {
+  const auto cfg = Config::parse("a = 1; b = two ; c=3 # trailing; comment = ignored\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "two");
+  EXPECT_EQ(cfg.get_int("c", 0), 3);
+  EXPECT_FALSE(cfg.has("comment"));
+  EXPECT_EQ(cfg.entries().size(), 3u);
+}
+
+TEST(Config, MergeOverlays) {
+  auto base = Config::parse("a = 1\nb = 2\n");
+  const auto overlay = Config::parse("b = 3\nc = 4\n");
+  base.merge(overlay);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, LoadFileMissingThrows) {
+  EXPECT_THROW((void)Config::load_file("/nonexistent/path/cfg.txt"), std::runtime_error);
+}
+
+// --- Cli ------------------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  Cli cli;
+  cli.add_flag("nodes", "100", "node count");
+  cli.add_flag("hours", "6", "sim hours");
+  const char* argv[] = {"prog", "--nodes=250", "--hours", "12"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 250);
+  EXPECT_EQ(cli.get_int("hours"), 12);
+  EXPECT_TRUE(cli.was_set("nodes"));
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli;
+  cli.add_flag("x", "3.5", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 3.5);
+  EXPECT_FALSE(cli.was_set("x"));
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli;
+  cli.add_flag("verbose", "false", "");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  cli.add_flag("x", "1", "");
+  const char* argv[] = {"prog", "--y=2"};
+  EXPECT_THROW((void)cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  Cli cli;
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW((void)cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  cli.add_flag("x", "1", "the x");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.usage("prog").find("--x"), std::string::npos);
+}
+
+TEST(Cli, DuplicateFlagDeclarationThrows) {
+  Cli cli;
+  cli.add_flag("x", "1", "");
+  EXPECT_THROW(cli.add_flag("x", "2", ""), std::invalid_argument);
+}
+
+// --- Table ------------------------------------------------------------------------
+
+TEST(Table, AlignedOutputContainsHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"mdr", Table::cell(0.75, 2)});
+  t.add_row({"traffic", Table::cell(std::size_t{1234})});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::cell(static_cast<long long>(-3)), "-3");
+}
+
+}  // namespace
+}  // namespace dtnic::util

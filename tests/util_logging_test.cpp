@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace dtnic::util {
+namespace {
+
+/// The logger is process-global; save and restore around each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, UnknownLevelDefaultsToWarn) {
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacroCompilesAndFilters) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  // The stream expression must not be evaluated when filtered out.
+  DTNIC_INFO("test") << "side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kTrace);
+  DTNIC_ERROR("test") << "visible " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace dtnic::util
