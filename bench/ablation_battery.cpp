@@ -6,6 +6,7 @@
 /// (the mechanism's fairness claim).
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.h"
 
@@ -15,10 +16,8 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Ablation: battery-conscious nodes (endogenous selfishness)", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
 
-  util::Table table({"battery (J)", "population", "MDR", "suppressed contacts",
-                     "energy (J)", "token fairness"});
   struct Case {
     const char* label;
     double fraction;
@@ -30,13 +29,22 @@ int main(int argc, char** argv) {
       {"50% battery-conscious, medium battery", 0.5, 120.0},
       {"50% battery-conscious, small battery", 0.5, 40.0},
   };
+  std::vector<scenario::ScenarioConfig> points;
   for (const Case& c : cases) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.scheme = scenario::Scheme::kIncentive;
     cfg.battery_conscious_fraction = c.fraction;
     cfg.battery_capacity_j = c.capacity_j;
     cfg.messages_per_node_per_hour = 1.0;  // enough traffic to drain batteries
-    const auto agg = runner.run(cfg);
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"battery (J)", "population", "MDR", "suppressed contacts",
+                     "energy (J)", "token fairness"});
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Case& c = cases[i];
+    const auto& agg = results[i];
     double suppressed = 0.0, energy = 0.0, fairness = 0.0;
     for (const auto& r : agg.raw) {
       suppressed += static_cast<double>(r.contacts_suppressed);

@@ -4,11 +4,51 @@
 /// refused; with DRM on their ratings collapse, their awards are scaled
 /// down, and transfers from them are refused.
 
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/incentive_router.h"
 #include "scenario/scenario.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+struct DrmCaseResult {
+  dtnic::scenario::RunResult run;
+  double malicious_avg_tokens = 0.0;
+  double honest_avg_tokens = 0.0;
+};
+
+/// One seeded run with per-behavior-class token introspection (needs the
+/// live Scenario, so it happens here rather than in RunResult).
+DrmCaseResult run_drm_case(const dtnic::scenario::ScenarioConfig& cfg) {
+  using namespace dtnic;
+  scenario::Scenario sim(cfg);
+  DrmCaseResult out;
+  out.run = sim.run();
+
+  double malicious_tokens = 0.0, honest_tokens = 0.0;
+  std::size_t malicious_n = 0, honest_n = 0;
+  for (std::size_t i = 0; i < sim.node_count(); ++i) {
+    const auto id = util::NodeId(static_cast<util::NodeId::underlying>(i));
+    const auto* router = core::IncentiveRouter::of(sim.host(id));
+    if (router == nullptr) continue;
+    if (sim.behavior_of(id).malicious()) {
+      malicious_tokens += router->ledger().balance();
+      ++malicious_n;
+    } else {
+      honest_tokens += router->ledger().balance();
+      ++honest_n;
+    }
+  }
+  out.malicious_avg_tokens = malicious_n ? malicious_tokens / malicious_n : 0.0;
+  out.honest_avg_tokens = honest_n ? honest_tokens / honest_n : 0.0;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dtnic;
@@ -16,37 +56,28 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Ablation: DRM on/off with 20% malicious nodes", scale);
 
-  util::Table table({"DRM", "final malicious rating", "malicious avg tokens",
-                     "honest avg tokens", "refused: untrusted", "MDR"});
+  // Both cases fan out on the shared pool; the per-class token split runs
+  // inside the worker while the Scenario is still alive.
+  std::vector<std::future<DrmCaseResult>> futures;
   for (const bool drm_on : {true, false}) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.malicious_fraction = 0.2;
     cfg.drm.enabled = drm_on;
     cfg.scheme = scenario::Scheme::kIncentive;
     cfg.seed = 1;
+    futures.push_back(util::ThreadPool::shared().submit([cfg] { return run_drm_case(cfg); }));
+  }
 
-    scenario::Scenario sim(cfg);
-    const scenario::RunResult r = sim.run();
-
-    // Split final token balances by behavior class.
-    double malicious_tokens = 0.0, honest_tokens = 0.0;
-    std::size_t malicious_n = 0, honest_n = 0;
-    for (std::size_t i = 0; i < sim.node_count(); ++i) {
-      const auto id = util::NodeId(static_cast<util::NodeId::underlying>(i));
-      const auto* router = core::IncentiveRouter::of(sim.host(id));
-      if (router == nullptr) continue;
-      if (sim.behavior_of(id).malicious()) {
-        malicious_tokens += router->ledger().balance();
-        ++malicious_n;
-      } else {
-        honest_tokens += router->ledger().balance();
-        ++honest_n;
-      }
-    }
+  util::Table table({"DRM", "final malicious rating", "malicious avg tokens",
+                     "honest avg tokens", "refused: untrusted", "MDR"});
+  std::size_t case_index = 0;
+  for (const bool drm_on : {true, false}) {
+    const DrmCaseResult result = futures[case_index++].get();
+    const scenario::RunResult& r = result.run;
     table.add_row({drm_on ? "on" : "off",
                    util::Table::cell(r.malicious_rating.last_value(), 3),
-                   util::Table::cell(malicious_n ? malicious_tokens / malicious_n : 0.0, 2),
-                   util::Table::cell(honest_n ? honest_tokens / honest_n : 0.0, 2),
+                   util::Table::cell(result.malicious_avg_tokens, 2),
+                   util::Table::cell(result.honest_avg_tokens, 2),
                    util::Table::cell(r.refused_untrusted),
                    util::Table::cell(r.mdr, 3)});
   }

@@ -14,15 +14,22 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Ablation: content enrichment on/off", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
 
-  util::Table table({"enrichment", "MDR", "deliveries total", "tokens paid", "traffic"});
+  std::vector<scenario::ScenarioConfig> points;
   for (const bool enabled : {true, false}) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.enrichment_enabled = enabled;
     cfg.enrich_probability = 0.5;  // enrichment-heavy population
     cfg.scheme = scenario::Scheme::kIncentive;
-    const auto agg = runner.run(cfg);
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"enrichment", "MDR", "deliveries total", "tokens paid", "traffic"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bool enabled = points[i].enrichment_enabled;
+    const auto& agg = results[i];
     double deliveries = 0.0, paid = 0.0;
     for (const auto& r : agg.raw) {
       deliveries += static_cast<double>(r.deliveries_total);

@@ -16,10 +16,10 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Ablation: destination-pays vs source-pays (PI-style)", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
 
-  util::Table table({"selfish %", "scheme", "MDR", "traffic", "refused: no-tokens",
-                     "token fairness"});
+  std::vector<double> selfish_levels;
+  std::vector<scenario::ScenarioConfig> points;
   for (const double selfish : {0.0, 0.4}) {
     for (const auto scheme :
          {scenario::Scheme::kIncentive, scenario::Scheme::kPiIncentive}) {
@@ -27,16 +27,25 @@ int main(int argc, char** argv) {
       cfg.scheme = scheme;
       cfg.selfish_fraction = selfish;
       cfg.pi.attachment = cfg.incentive.initial_tokens / 4.0;  // comparable budgets
-      const auto agg = runner.run(cfg);
-      double fairness = 0.0;
-      for (const auto& r : agg.raw) fairness += r.token_fairness;
-      fairness /= static_cast<double>(agg.raw.size());
-      table.add_row({util::Table::cell(selfish * 100.0, 0), scenario::scheme_name(scheme),
-                     util::Table::cell(agg.mdr.mean(), 3),
-                     util::Table::cell(agg.traffic.mean(), 0),
-                     util::Table::cell(agg.refused_no_tokens.mean(), 0),
-                     util::Table::cell(fairness, 3)});
+      points.push_back(cfg);
+      selfish_levels.push_back(selfish);
     }
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"selfish %", "scheme", "MDR", "traffic", "refused: no-tokens",
+                     "token fairness"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& agg = results[i];
+    double fairness = 0.0;
+    for (const auto& r : agg.raw) fairness += r.token_fairness;
+    fairness /= static_cast<double>(agg.raw.size());
+    table.add_row({util::Table::cell(selfish_levels[i] * 100.0, 0),
+                   scenario::scheme_name(points[i].scheme),
+                   util::Table::cell(agg.mdr.mean(), 3),
+                   util::Table::cell(agg.traffic.mean(), 0),
+                   util::Table::cell(agg.refused_no_tokens.mean(), 0),
+                   util::Table::cell(fairness, 3)});
   }
   table.print(std::cout);
   std::cout << "\nexpected: destination-pays throttles traffic via receiver refusals\n"

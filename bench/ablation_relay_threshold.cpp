@@ -13,15 +13,22 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Ablation: relay pre-payment threshold sweep", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
 
-  util::Table table({"threshold", "MDR", "payments", "tokens paid", "traffic"});
+  std::vector<scenario::ScenarioConfig> points;
   for (const double threshold : {0.5, 0.7, 0.8, 0.9, 1.01}) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.incentive.relay_threshold = threshold;
     cfg.selfish_fraction = 0.2;
     cfg.scheme = scenario::Scheme::kIncentive;
-    const auto agg = runner.run(cfg);
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"threshold", "MDR", "payments", "tokens paid", "traffic"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double threshold = points[i].incentive.relay_threshold;
+    const auto& agg = results[i];
     double payments = 0.0, paid = 0.0;
     for (const auto& r : agg.raw) {
       payments += static_cast<double>(r.payments);

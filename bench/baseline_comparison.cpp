@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Extension: all routing schemes side by side", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   const scenario::Scheme schemes[] = {
       scenario::Scheme::kIncentive,     scenario::Scheme::kChitChat,
       scenario::Scheme::kEpidemic,      scenario::Scheme::kVaccineEpidemic,
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       scenario::Scheme::kTwoHop,        scenario::Scheme::kFirstContact,
       scenario::Scheme::kDirectDelivery};
 
-  util::Table table({"scheme", "MDR", "traffic", "latency (s)", "hops"});
+  std::vector<scenario::ScenarioConfig> points;
   for (const auto scheme : schemes) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.scheme = scheme;
@@ -30,8 +30,15 @@ int main(int argc, char** argv) {
     // Scarce interests so routing quality differentiates the schemes.
     cfg.interests_per_node = 5;
     cfg.keywords_per_message = 2;
-    const auto agg = runner.run(cfg);
-    table.add_row({scenario::scheme_name(scheme), util::Table::cell(agg.mdr.mean(), 3),
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"scheme", "MDR", "traffic", "latency (s)", "hops"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& agg = results[i];
+    table.add_row({scenario::scheme_name(points[i].scheme),
+                   util::Table::cell(agg.mdr.mean(), 3),
                    util::Table::cell(agg.traffic.mean(), 0),
                    util::Table::cell(agg.mean_latency_s.mean(), 0),
                    util::Table::cell(agg.mean_hops.mean(), 2)});

@@ -9,6 +9,7 @@
 #include "scenario/experiment.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 /// \file bench_common.h
 /// Shared harness for the figure/table reproduction binaries.
@@ -18,6 +19,10 @@
 /// the paper's results (who wins, crossovers, monotonicity) are preserved.
 /// Set DTNIC_SCALE=paper (or pass --nodes/--hours/--seeds) to run the exact
 /// Table 5.1 configuration with five seeds, as the paper does.
+///
+/// Seeded runs execute on the shared worker pool (sweep points x seeds as
+/// one job set); results are aggregated in seed order, so the output is
+/// identical to a serial sweep regardless of --threads / DTNIC_THREADS.
 
 namespace dtnic::bench {
 
@@ -28,12 +33,15 @@ struct BenchScale {
   bool paper = false;
 };
 
-/// Resolve scale from DTNIC_SCALE and optional CLI flags.
+/// Resolve scale from DTNIC_SCALE and optional CLI flags; a --threads flag
+/// (default: DTNIC_THREADS env or hardware concurrency) sizes the shared
+/// worker pool the experiment runners fan out on.
 inline BenchScale resolve_scale(util::Cli& cli, int argc, const char* const* argv,
                                 const std::string& program) {
   cli.add_flag("nodes", "0", "participants (0 = scale default)");
   cli.add_flag("hours", "0", "simulated hours (0 = scale default)");
   cli.add_flag("seeds", "0", "simulation runs to average (0 = scale default)");
+  cli.add_flag("threads", "0", "worker threads (0 = DTNIC_THREADS or hardware)");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.usage(program);
     std::exit(0);
@@ -48,6 +56,9 @@ inline BenchScale resolve_scale(util::Cli& cli, int argc, const char* const* arg
   if (cli.get_int("nodes") > 0) scale.nodes = static_cast<std::size_t>(cli.get_int("nodes"));
   if (cli.get_double("hours") > 0) scale.hours = cli.get_double("hours");
   if (cli.get_int("seeds") > 0) scale.seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  if (cli.get_int("threads") > 0) {
+    util::ThreadPool::set_shared_threads(static_cast<std::size_t>(cli.get_int("threads")));
+  }
   return scale;
 }
 
@@ -74,7 +85,8 @@ inline scenario::ScenarioConfig base_config(const BenchScale& scale) {
 inline void print_header(const std::string& title, const BenchScale& scale) {
   std::cout << "== " << title << " ==\n"
             << "scale: " << scale.nodes << " nodes, " << scale.hours << " h, "
-            << scale.seeds << " seed(s)"
+            << scale.seeds << " seed(s), " << util::ThreadPool::shared().size()
+            << " worker thread(s)"
             << (scale.paper ? " [paper scale, Table 5.1]" : " [reduced scale]") << "\n\n";
 }
 

@@ -16,25 +16,34 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.1: MDR vs % selfish nodes", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   const int step = static_cast<int>(cli.get_int("step"));
 
-  util::Table table({"selfish %", "MDR incentive", "sd", "MDR chitchat", "sd",
-                     "suppressed contacts"});
+  // Both schemes at every sweep point, submitted as one parallel job set.
+  std::vector<int> percents;
+  std::vector<scenario::ScenarioConfig> points;
   for (int pct = 0; pct <= 100; pct += step) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.selfish_fraction = pct / 100.0;
-
     cfg.scheme = scenario::Scheme::kIncentive;
-    const auto incentive = runner.run(cfg);
+    points.push_back(cfg);
     cfg.scheme = scenario::Scheme::kChitChat;
-    const auto chitchat = runner.run(cfg);
+    points.push_back(cfg);
+    percents.push_back(pct);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"selfish %", "MDR incentive", "sd", "MDR chitchat", "sd",
+                     "suppressed contacts"});
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const auto& incentive = results[2 * i];
+    const auto& chitchat = results[2 * i + 1];
 
     double suppressed = 0;
     for (const auto& r : incentive.raw) suppressed += static_cast<double>(r.contacts_suppressed);
     suppressed /= static_cast<double>(incentive.raw.size());
 
-    table.add_row({std::to_string(pct), util::Table::cell(incentive.mdr.mean(), 3),
+    table.add_row({std::to_string(percents[i]), util::Table::cell(incentive.mdr.mean(), 3),
                    util::Table::cell(incentive.mdr.stddev(), 3),
                    util::Table::cell(chitchat.mdr.mean(), 3),
                    util::Table::cell(chitchat.mdr.stddev(), 3),

@@ -15,19 +15,28 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.2: % traffic reduced over ChitChat", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   const int step = static_cast<int>(cli.get_int("step"));
 
-  util::Table table({"selfish %", "traffic incentive", "traffic chitchat", "reduced %",
-                     "no-token refusals", "untrusted refusals"});
+  std::vector<int> percents;
+  std::vector<scenario::ScenarioConfig> points;
   for (int pct = 0; pct <= 100; pct += step) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.selfish_fraction = pct / 100.0;
-
     cfg.scheme = scenario::Scheme::kIncentive;
-    const auto incentive = runner.run(cfg);
+    points.push_back(cfg);
     cfg.scheme = scenario::Scheme::kChitChat;
-    const auto chitchat = runner.run(cfg);
+    points.push_back(cfg);
+    percents.push_back(pct);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"selfish %", "traffic incentive", "traffic chitchat", "reduced %",
+                     "no-token refusals", "untrusted refusals"});
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const int pct = percents[i];
+    const auto& incentive = results[2 * i];
+    const auto& chitchat = results[2 * i + 1];
 
     const double t_inc = incentive.traffic.mean();
     const double t_cc = chitchat.traffic.mean();

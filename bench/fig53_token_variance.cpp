@@ -5,6 +5,7 @@
 /// as the allowance grows (the Section 3 conclusion's trade-off).
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.h"
 
@@ -14,33 +15,44 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.3: MDR vs initial tokens", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   const scenario::ScenarioConfig base = bench::base_config(scale);
   // Sweep around the scale-adjusted baseline allowance (the paper sweeps
   // absolute token counts at 24 h / 500 nodes).
   const double multipliers[] = {0.25, 0.5, 1.0, 2.0, 4.0};
   const double selfish_levels[] = {0.0, 0.2, 0.4};
 
+  // Per multiplier: incentive at each selfish level, then ChitChat at 20%
+  // selfish (the traffic-reduction reference) — four points per row.
+  std::vector<scenario::ScenarioConfig> points;
+  for (const double mult : multipliers) {
+    scenario::ScenarioConfig cfg = base;
+    cfg.incentive.initial_tokens = base.incentive.initial_tokens * mult;
+    for (const double selfish : selfish_levels) {
+      cfg.selfish_fraction = selfish;
+      cfg.scheme = scenario::Scheme::kIncentive;
+      points.push_back(cfg);
+    }
+    cfg.selfish_fraction = 0.2;
+    cfg.scheme = scenario::Scheme::kChitChat;
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
   util::Table table({"initial tokens", "MDR (0% selfish)", "MDR (20% selfish)",
                      "MDR (40% selfish)", "traffic reduced % (20% selfish)"});
-  for (const double mult : multipliers) {
-    const double tokens = base.incentive.initial_tokens * mult;
+  const std::size_t per_row = std::size(selfish_levels) + 1;
+  for (std::size_t mi = 0; mi < std::size(multipliers); ++mi) {
+    const double tokens = base.incentive.initial_tokens * multipliers[mi];
     std::vector<std::string> row{util::Table::cell(tokens, 1)};
-    double reduced_at_20 = 0.0;
-    for (const double selfish : selfish_levels) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.selfish_fraction = selfish;
-      cfg.incentive.initial_tokens = tokens;
-      cfg.scheme = scenario::Scheme::kIncentive;
-      const auto incentive = runner.run(cfg);
-      row.push_back(util::Table::cell(incentive.mdr.mean(), 3));
-      if (selfish == 0.2) {
-        cfg.scheme = scenario::Scheme::kChitChat;
-        const auto chitchat = runner.run(cfg);
-        const double t_cc = chitchat.traffic.mean();
-        reduced_at_20 = t_cc > 0 ? (t_cc - incentive.traffic.mean()) / t_cc * 100.0 : 0.0;
-      }
+    for (std::size_t si = 0; si < std::size(selfish_levels); ++si) {
+      row.push_back(util::Table::cell(results[mi * per_row + si].mdr.mean(), 3));
     }
+    const auto& incentive_at_20 = results[mi * per_row + 1];  // selfish level 0.2
+    const auto& chitchat_at_20 = results[mi * per_row + per_row - 1];
+    const double t_cc = chitchat_at_20.traffic.mean();
+    const double reduced_at_20 =
+        t_cc > 0 ? (t_cc - incentive_at_20.traffic.mean()) / t_cc * 100.0 : 0.0;
     row.push_back(util::Table::cell(reduced_at_20, 2));
     table.add_row(std::move(row));
   }

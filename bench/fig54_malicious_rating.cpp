@@ -15,10 +15,10 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.4: avg rating of malicious nodes vs time", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   const double fractions[] = {0.1, 0.2, 0.3, 0.4};
 
-  std::vector<std::vector<std::pair<double, double>>> series;
+  std::vector<scenario::ScenarioConfig> points;
   for (const double frac : fractions) {
     scenario::ScenarioConfig cfg = bench::base_config(scale);
     cfg.malicious_fraction = frac;
@@ -26,7 +26,12 @@ int main(int argc, char** argv) {
     // Detection saturates quickly once gossip spreads; sample densely so the
     // transient — where the malicious-fraction ordering shows — is resolved.
     cfg.sample_interval_s = cfg.sim_hours * 3600.0 / 48.0;
-    const auto agg = runner.run(cfg);
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  std::vector<std::vector<std::pair<double, double>>> series;
+  for (const auto& agg : results) {
     series.push_back(scenario::ExperimentRunner::mean_series(agg.raw));
   }
 

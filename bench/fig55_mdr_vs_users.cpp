@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.5: MDR vs number of users (fixed area)", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
   scenario::ScenarioConfig base = bench::base_config(scale);
   if (!scale.paper) {
     // Tripling the population in a fixed area is quadratically expensive;
@@ -28,16 +28,23 @@ int main(int argc, char** argv) {
                                  (500.0 / (2236.0 * 2236.0)));
   }
 
-  util::Table table({"users", "MDR incentive", "MDR chitchat", "gap"});
+  std::vector<scenario::ScenarioConfig> points;
   for (const double mult : {1.0, 2.0, 3.0}) {  // paper: 500, 1000, 1500
     scenario::ScenarioConfig cfg = base;
     cfg.num_nodes = static_cast<std::size_t>(static_cast<double>(base.num_nodes) * mult);
     // area stays fixed at the base scale: density grows, as in the paper.
     cfg.scheme = scenario::Scheme::kIncentive;
-    const auto incentive = runner.run(cfg);
+    points.push_back(cfg);
     cfg.scheme = scenario::Scheme::kChitChat;
-    const auto chitchat = runner.run(cfg);
-    table.add_row({std::to_string(cfg.num_nodes),
+    points.push_back(cfg);
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"users", "MDR incentive", "MDR chitchat", "gap"});
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    const auto& incentive = results[i];
+    const auto& chitchat = results[i + 1];
+    table.add_row({std::to_string(points[i].num_nodes),
                    util::Table::cell(incentive.mdr.mean(), 3),
                    util::Table::cell(chitchat.mdr.mean(), 3),
                    util::Table::cell(chitchat.mdr.mean() - incentive.mdr.mean(), 3)});

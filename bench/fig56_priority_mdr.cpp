@@ -16,10 +16,10 @@ int main(int argc, char** argv) {
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.6: priority-segmented MDR", scale);
 
-  const scenario::ExperimentRunner runner(scale.seeds);
+  const scenario::SweepRunner sweep(scale.seeds);
 
-  util::Table table({"selfish %", "scheme", "MDR high", "MDR medium", "MDR low",
-                     "high delivered"});
+  std::vector<double> selfish_levels;
+  std::vector<scenario::ScenarioConfig> points;
   for (const double selfish : {0.2, 0.4}) {
     for (const auto scheme : {scenario::Scheme::kIncentive, scenario::Scheme::kChitChat}) {
       scenario::ScenarioConfig cfg = bench::base_config(scale);
@@ -38,16 +38,25 @@ int main(int argc, char** argv) {
       cfg.latent_extra_keywords = 3;
       cfg.enrich_probability = 0.5;
       cfg.honest_max_tags = 3;
-      const auto agg = runner.run(cfg);
-      double delivered_high = 0;
-      for (const auto& r : agg.raw) delivered_high += static_cast<double>(r.delivered_high);
-      delivered_high /= static_cast<double>(agg.raw.size());
-      table.add_row({util::Table::cell(selfish * 100.0, 0), scenario::scheme_name(scheme),
-                     util::Table::cell(agg.mdr_high.mean(), 3),
-                     util::Table::cell(agg.mdr_medium.mean(), 3),
-                     util::Table::cell(agg.mdr_low.mean(), 3),
-                     util::Table::cell(delivered_high, 1)});
+      points.push_back(cfg);
+      selfish_levels.push_back(selfish);
     }
+  }
+  const auto results = sweep.run_all(points);
+
+  util::Table table({"selfish %", "scheme", "MDR high", "MDR medium", "MDR low",
+                     "high delivered"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& agg = results[i];
+    double delivered_high = 0;
+    for (const auto& r : agg.raw) delivered_high += static_cast<double>(r.delivered_high);
+    delivered_high /= static_cast<double>(agg.raw.size());
+    table.add_row({util::Table::cell(selfish_levels[i] * 100.0, 0),
+                   scenario::scheme_name(points[i].scheme),
+                   util::Table::cell(agg.mdr_high.mean(), 3),
+                   util::Table::cell(agg.mdr_medium.mean(), 3),
+                   util::Table::cell(agg.mdr_low.mean(), 3),
+                   util::Table::cell(delivered_high, 1)});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: at each selfish level the incentive scheme's high-priority\n"

@@ -79,11 +79,21 @@ void ConnectivityManager::scan() {
     const bool was_connected = it->second == PairState::kConnected;
     it = pair_states_.erase(it);
     if (was_connected) {
-      adjacency_[a].erase(b);
-      adjacency_[b].erase(a);
+      // find(), not operator[]: teardown must never create adjacency
+      // entries, and sets left empty are erased so the map tracks only
+      // nodes with live links (selfish-heavy runs suppress most pairs).
+      drop_adjacency(a, b);
+      drop_adjacency(b, a);
       if (link_down_) link_down_(a, b);
     }
   }
+}
+
+void ConnectivityManager::drop_adjacency(NodeId node, NodeId neighbor) {
+  const auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return;
+  it->second.erase(neighbor);
+  if (it->second.empty()) adjacency_.erase(it);
 }
 
 bool ConnectivityManager::connected(NodeId a, NodeId b) const {

@@ -49,6 +49,9 @@ class ConnectivityManager final : public ContactSource {
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> connected_pairs() const override;
   [[nodiscard]] std::size_t active_links() const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Nodes currently holding a non-empty neighbor set (bounded-growth
+  /// invariant: never exceeds the nodes with at least one live link).
+  [[nodiscard]] std::size_t adjacency_entries() const { return adjacency_.size(); }
 
   /// Position of a node at the current simulation time.
   [[nodiscard]] util::Vec2 position_of(NodeId id);
@@ -64,6 +67,10 @@ class ConnectivityManager final : public ContactSource {
   enum class PairState { kConnected, kSuppressed };
 
   static std::uint64_t pair_key(NodeId a, NodeId b);
+
+  /// Remove \p neighbor from \p node's adjacency set without ever creating
+  /// an entry; erases the set once empty.
+  void drop_adjacency(NodeId node, NodeId neighbor);
 
   sim::Simulator& sim_;
   RadioParams radio_;

@@ -11,6 +11,13 @@
 /// Multi-seed experiment execution: the paper reports every figure as the
 /// average of five simulation runs; AggregateResult carries mean and stddev
 /// of each metric across seeds.
+///
+/// Seeded runs are independent (each Scenario owns its RNG, keyword table
+/// and metrics), so ExperimentRunner fans them across the process-wide
+/// util::ThreadPool and aggregates in deterministic seed order — the
+/// parallel result is bit-identical to the serial one. SweepRunner extends
+/// the same idea across a whole sweep: all (point, seed) jobs are submitted
+/// as one batch so the pool never idles between sweep points.
 
 namespace dtnic::scenario {
 
@@ -37,16 +44,48 @@ class ExperimentRunner {
   /// Number of seeds per configuration; the paper uses five runs.
   explicit ExperimentRunner(std::size_t seeds = 5, std::uint64_t base_seed = 1);
 
-  /// Run one configuration across all seeds (seed = base, base+1, ...).
+  /// Run one configuration across all seeds (seed = base, base+1, ...),
+  /// fanned out over util::ThreadPool::shared(). Aggregation happens in
+  /// seed order, so the result is bit-identical to run_serial().
   [[nodiscard]] AggregateResult run(ScenarioConfig config) const;
+
+  /// Reference implementation: the same seeds, one after another on the
+  /// calling thread. Kept as the determinism baseline for tests.
+  [[nodiscard]] AggregateResult run_serial(ScenarioConfig config) const;
 
   /// Run a single seeded configuration.
   [[nodiscard]] static RunResult run_once(ScenarioConfig config);
 
-  /// Fig. 5.4 helper: average the malicious-rating series across seeds at
-  /// the sample times of the first run.
+  /// Fold per-seed results (already in seed order) into an aggregate.
+  [[nodiscard]] static AggregateResult aggregate(std::string scheme,
+                                                 std::vector<RunResult> runs);
+
+  /// Fig. 5.4 helper: average the malicious-rating series across seeds over
+  /// the union of all runs' sample times. Runs that have no sample at (or
+  /// before) a grid time contribute their series' initial value.
   [[nodiscard]] static std::vector<std::pair<double, double>> mean_series(
       const std::vector<RunResult>& runs);
+
+  [[nodiscard]] std::size_t seeds() const { return seeds_; }
+  [[nodiscard]] std::uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  std::size_t seeds_;
+  std::uint64_t base_seed_;
+};
+
+/// Parallelizes a whole sweep (points x seeds) as one job set on the shared
+/// pool. Results come back in input order, each aggregated in seed order,
+/// so a sweep produces exactly what point-by-point ExperimentRunner::run
+/// calls would — just without serializing across sweep points.
+class SweepRunner {
+ public:
+  explicit SweepRunner(std::size_t seeds = 5, std::uint64_t base_seed = 1);
+
+  /// Run every configuration across all seeds; result i corresponds to
+  /// points[i].
+  [[nodiscard]] std::vector<AggregateResult> run_all(
+      const std::vector<ScenarioConfig>& points) const;
 
   [[nodiscard]] std::size_t seeds() const { return seeds_; }
 

@@ -41,6 +41,10 @@ enum StreamTag : std::uint64_t {
 Scenario::Scenario(const ScenarioConfig& config)
     : cfg_(config), master_rng_(config.seed), gate_rng_(0) {
   cfg_.validate();
+  // Before the first sample, malicious nodes sit at the rating-scale prior —
+  // queries ahead of a run's sample grid (Fig. 5.4 cross-seed averaging)
+  // must see that prior, not the first observed value.
+  malicious_rating_series_.set_initial_value(cfg_.drm.default_rating);
   build();
 }
 

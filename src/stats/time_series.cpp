@@ -1,15 +1,17 @@
 #include "stats/time_series.h"
 
+#include <algorithm>
+
 namespace dtnic::stats {
 
 double TimeSeries::value_at(util::SimTime t) const {
-  if (samples_.empty()) return 0.0;
-  double value = samples_.front().value;
-  for (const Sample& s : samples_) {
-    if (s.time > t) break;
-    value = s.value;
-  }
-  return value;
+  // Samples are appended in time order: binary-search the first sample
+  // strictly after t; its predecessor (if any) holds the step value.
+  const auto after = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](util::SimTime query, const Sample& s) { return query < s.time; });
+  if (after == samples_.begin()) return initial_;
+  return std::prev(after)->value;
 }
 
 }  // namespace dtnic::stats

@@ -8,6 +8,12 @@
 /// A sampled (time, value) series — e.g. Fig. 5.4's "average rating of
 /// malicious nodes over time". Samples are appended in time order by the
 /// scenario's periodic sampler.
+///
+/// The series is a step function that starts at a configurable initial
+/// value: queries before the first sample (or on an empty series) report
+/// that initial value, NOT the first observed sample. Malicious-rating
+/// series start at the rating-scale default, so averaging runs with
+/// staggered sample grids does not smear the first observation backwards.
 
 namespace dtnic::stats {
 
@@ -18,20 +24,33 @@ struct Sample {
 
 class TimeSeries {
  public:
+  TimeSeries() = default;
+  /// \p initial_value is the step value before the first sample.
+  explicit TimeSeries(double initial_value) : initial_(initial_value) {}
+
+  void set_initial_value(double v) { initial_ = v; }
+  [[nodiscard]] double initial_value() const { return initial_; }
+
   void add(util::SimTime t, double value) { samples_.push_back({t, value}); }
 
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
 
-  [[nodiscard]] double last_value() const { return samples_.empty() ? 0.0 : samples_.back().value; }
-  [[nodiscard]] double first_value() const { return samples_.empty() ? 0.0 : samples_.front().value; }
+  [[nodiscard]] double last_value() const {
+    return samples_.empty() ? initial_ : samples_.back().value;
+  }
+  [[nodiscard]] double first_value() const {
+    return samples_.empty() ? initial_ : samples_.front().value;
+  }
 
-  /// Value at or before \p t (first value if t precedes all samples).
+  /// Value of the most recent sample at or before \p t; the initial value
+  /// if \p t precedes all samples (or the series is empty).
   [[nodiscard]] double value_at(util::SimTime t) const;
 
  private:
   std::vector<Sample> samples_;
+  double initial_ = 0.0;
 };
 
 }  // namespace dtnic::stats

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,9 @@ namespace dtnic::util {
 
 namespace {
 
-LogLevel g_level = [] {
+// Atomic: scenario runs log from thread-pool workers while tests may flip
+// the level on the main thread.
+std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("DTNIC_LOG")) {
     return parse_log_level(env);
   }
@@ -28,9 +31,9 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "trace") return LogLevel::kTrace;
@@ -45,7 +48,7 @@ LogLevel parse_log_level(const std::string& name) {
 namespace detail {
 
 void log_write(LogLevel level, const char* component, const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component, message.c_str());
 }
 

@@ -4,9 +4,10 @@
 #include <string>
 
 /// \file logging.h
-/// Leveled logging to stderr. The simulator is single-threaded; the logger is
-/// deliberately simple. Level is a process-wide setting (default Warn so that
-/// benchmarks stay quiet), overridable via the DTNIC_LOG environment variable
+/// Leveled logging to stderr. Each simulator instance is single-threaded,
+/// but the experiment runner executes instances on thread-pool workers, so
+/// the process-wide level is stored atomically. Default is Warn so that
+/// benchmarks stay quiet; override via the DTNIC_LOG environment variable
 /// ("trace" | "debug" | "info" | "warn" | "error" | "off").
 
 namespace dtnic::util {

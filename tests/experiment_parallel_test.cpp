@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "util/thread_pool.h"
+
+/// Parallel experiment execution: ExperimentRunner::run fans seeds across
+/// the shared thread pool but must produce output bit-identical to the
+/// serial reference path (every RunningStats field, and raw results in seed
+/// order). These tests pin that guarantee at fixed seeds.
+
+namespace dtnic::scenario {
+namespace {
+
+ScenarioConfig small_config(Scheme scheme = Scheme::kIncentive) {
+  ScenarioConfig cfg = ScenarioConfig::scaled_defaults(30, 0.5);
+  cfg.scheme = scheme;
+  cfg.selfish_fraction = 0.2;
+  cfg.malicious_fraction = 0.1;
+  cfg.sample_interval_s = 300.0;
+  return cfg;
+}
+
+void expect_stats_identical(const util::RunningStats& a, const util::RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());      // bit-identical, no tolerance
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void expect_aggregate_identical(const AggregateResult& a, const AggregateResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.runs, b.runs);
+  expect_stats_identical(a.mdr, b.mdr);
+  expect_stats_identical(a.traffic, b.traffic);
+  expect_stats_identical(a.created, b.created);
+  expect_stats_identical(a.delivered, b.delivered);
+  expect_stats_identical(a.mdr_high, b.mdr_high);
+  expect_stats_identical(a.mdr_medium, b.mdr_medium);
+  expect_stats_identical(a.mdr_low, b.mdr_low);
+  expect_stats_identical(a.avg_final_tokens, b.avg_final_tokens);
+  expect_stats_identical(a.refused_no_tokens, b.refused_no_tokens);
+  expect_stats_identical(a.refused_untrusted, b.refused_untrusted);
+  expect_stats_identical(a.mean_latency_s, b.mean_latency_s);
+  expect_stats_identical(a.mean_hops, b.mean_hops);
+
+  ASSERT_EQ(a.raw.size(), b.raw.size());
+  for (std::size_t i = 0; i < a.raw.size(); ++i) {
+    const RunResult& ra = a.raw[i];
+    const RunResult& rb = b.raw[i];
+    EXPECT_EQ(ra.seed, rb.seed);  // raw order is seed order
+    EXPECT_EQ(ra.created, rb.created);
+    EXPECT_EQ(ra.delivered, rb.delivered);
+    EXPECT_EQ(ra.mdr, rb.mdr);
+    EXPECT_EQ(ra.traffic, rb.traffic);
+    EXPECT_EQ(ra.contacts, rb.contacts);
+    EXPECT_EQ(ra.contacts_suppressed, rb.contacts_suppressed);
+    EXPECT_EQ(ra.avg_final_tokens, rb.avg_final_tokens);
+    EXPECT_EQ(ra.tokens_paid, rb.tokens_paid);
+    EXPECT_EQ(ra.mean_latency_s, rb.mean_latency_s);
+    EXPECT_EQ(ra.mean_hops, rb.mean_hops);
+    ASSERT_EQ(ra.malicious_rating.size(), rb.malicious_rating.size());
+    for (std::size_t s = 0; s < ra.malicious_rating.size(); ++s) {
+      EXPECT_EQ(ra.malicious_rating.samples()[s].time, rb.malicious_rating.samples()[s].time);
+      EXPECT_EQ(ra.malicious_rating.samples()[s].value,
+                rb.malicious_rating.samples()[s].value);
+    }
+  }
+}
+
+TEST(ExperimentParallel, ParallelRunMatchesSerialBitExactly) {
+  util::ThreadPool::set_shared_threads(4);
+  const ExperimentRunner runner(/*seeds=*/4, /*base_seed=*/7);
+  const ScenarioConfig cfg = small_config();
+  const AggregateResult parallel = runner.run(cfg);
+  const AggregateResult serial = runner.run_serial(cfg);
+  expect_aggregate_identical(parallel, serial);
+}
+
+TEST(ExperimentParallel, SweepRunnerMatchesPointwiseRuns) {
+  util::ThreadPool::set_shared_threads(4);
+  const std::size_t seeds = 3;
+  std::vector<ScenarioConfig> points;
+  for (const double selfish : {0.0, 0.3}) {
+    ScenarioConfig cfg = small_config();
+    cfg.selfish_fraction = selfish;
+    points.push_back(cfg);
+  }
+  points.back().scheme = Scheme::kChitChat;
+
+  const SweepRunner sweep(seeds);
+  const auto swept = sweep.run_all(points);
+  ASSERT_EQ(swept.size(), points.size());
+
+  const ExperimentRunner runner(seeds);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_aggregate_identical(swept[i], runner.run_serial(points[i]));
+  }
+}
+
+TEST(ExperimentParallel, SingleThreadPoolStillMatches) {
+  util::ThreadPool::set_shared_threads(1);
+  const ExperimentRunner runner(/*seeds=*/2, /*base_seed=*/3);
+  const ScenarioConfig cfg = small_config(Scheme::kChitChat);
+  expect_aggregate_identical(runner.run(cfg), runner.run_serial(cfg));
+  util::ThreadPool::set_shared_threads(0);  // restore default for other tests
+}
+
+// --- mean_series -------------------------------------------------------------------
+
+RunResult run_with_samples(std::uint64_t seed, double initial,
+                           std::vector<std::pair<double, double>> samples) {
+  RunResult r;
+  r.seed = seed;
+  r.malicious_rating.set_initial_value(initial);
+  for (const auto& [t, v] : samples) r.malicious_rating.add(util::SimTime::seconds(t), v);
+  return r;
+}
+
+TEST(MeanSeries, AggregatesOverUnionOfSampleTimes) {
+  // Staggered grids: seed 0 samples at {10, 30}, seed 1 at {20, 30}. The
+  // union grid {10, 20, 30} must be fully represented.
+  std::vector<RunResult> runs;
+  runs.push_back(run_with_samples(0, 4.0, {{10.0, 2.0}, {30.0, 1.0}}));
+  runs.push_back(run_with_samples(1, 4.0, {{20.0, 3.0}, {30.0, 2.0}}));
+
+  const auto series = ExperimentRunner::mean_series(runs);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].first, 10.0);
+  // At t=10 seed 1 has no sample yet and contributes its initial value.
+  EXPECT_DOUBLE_EQ(series[0].second, (2.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(series[1].first, 20.0);
+  EXPECT_DOUBLE_EQ(series[1].second, (2.0 + 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(series[2].first, 30.0);
+  EXPECT_DOUBLE_EQ(series[2].second, (1.0 + 2.0) / 2.0);
+}
+
+TEST(MeanSeries, FirstRunEmptyDoesNotEmptyTheAggregate) {
+  // Regression: the grid used to come from runs.front() only — an empty
+  // first run silently produced an empty aggregate.
+  std::vector<RunResult> runs;
+  runs.push_back(run_with_samples(0, 3.5, {}));
+  runs.push_back(run_with_samples(1, 3.5, {{60.0, 1.0}}));
+
+  const auto series = ExperimentRunner::mean_series(runs);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].first, 60.0);
+  EXPECT_DOUBLE_EQ(series[0].second, (3.5 + 1.0) / 2.0);
+}
+
+TEST(MeanSeries, DuplicateTimesAcrossRunsCollapse) {
+  std::vector<RunResult> runs;
+  runs.push_back(run_with_samples(0, 0.0, {{10.0, 1.0}, {20.0, 2.0}}));
+  runs.push_back(run_with_samples(1, 0.0, {{10.0, 3.0}, {20.0, 4.0}}));
+  const auto series = ExperimentRunner::mean_series(runs);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(series[1].second, 3.0);
+}
+
+TEST(MeanSeries, EmptyInputYieldsEmptySeries) {
+  EXPECT_TRUE(ExperimentRunner::mean_series({}).empty());
+  std::vector<RunResult> runs(2);  // two runs, no samples at all
+  EXPECT_TRUE(ExperimentRunner::mean_series(runs).empty());
+}
+
+}  // namespace
+}  // namespace dtnic::scenario

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+#include "util/thread_pool.h"
+
+/// Concurrency stress for the parallel experiment layer, built to run under
+/// -fsanitize=thread (cmake -DDTNIC_SANITIZE=thread; ctest -L tsan-stress).
+/// More seeds than workers keeps the queue contended; the serial baseline
+/// comparison doubles as the determinism check while TSan watches for data
+/// races between concurrently running Scenario instances.
+
+namespace dtnic::scenario {
+namespace {
+
+TEST(ExperimentStress, ManySeedsUnderContentionMatchSerial) {
+  util::ThreadPool::set_shared_threads(4);
+  ScenarioConfig cfg = ScenarioConfig::scaled_defaults(25, 0.5);
+  cfg.scheme = Scheme::kIncentive;
+  cfg.selfish_fraction = 0.3;
+  cfg.malicious_fraction = 0.2;
+  cfg.sample_interval_s = 300.0;
+
+  const ExperimentRunner runner(/*seeds=*/8, /*base_seed=*/11);
+  const AggregateResult parallel = runner.run(cfg);
+  const AggregateResult serial = runner.run_serial(cfg);
+
+  ASSERT_EQ(parallel.runs, serial.runs);
+  EXPECT_EQ(parallel.mdr.mean(), serial.mdr.mean());
+  EXPECT_EQ(parallel.mdr.stddev(), serial.mdr.stddev());
+  EXPECT_EQ(parallel.traffic.mean(), serial.traffic.mean());
+  EXPECT_EQ(parallel.avg_final_tokens.mean(), serial.avg_final_tokens.mean());
+  ASSERT_EQ(parallel.raw.size(), serial.raw.size());
+  for (std::size_t i = 0; i < parallel.raw.size(); ++i) {
+    EXPECT_EQ(parallel.raw[i].seed, serial.raw[i].seed);
+    EXPECT_EQ(parallel.raw[i].mdr, serial.raw[i].mdr);
+    EXPECT_EQ(parallel.raw[i].traffic, serial.raw[i].traffic);
+  }
+}
+
+TEST(ExperimentStress, RepeatedSweepsAreStable) {
+  util::ThreadPool::set_shared_threads(4);
+  std::vector<ScenarioConfig> points;
+  for (const auto scheme : {Scheme::kIncentive, Scheme::kChitChat, Scheme::kEpidemic}) {
+    ScenarioConfig cfg = ScenarioConfig::scaled_defaults(20, 0.25);
+    cfg.scheme = scheme;
+    cfg.selfish_fraction = 0.5;  // heavy suppression churn on the gate path
+    points.push_back(cfg);
+  }
+  const SweepRunner sweep(/*seeds=*/4);
+  const auto first = sweep.run_all(points);
+  const auto second = sweep.run_all(points);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].mdr.mean(), second[i].mdr.mean());
+    EXPECT_EQ(first[i].traffic.mean(), second[i].traffic.mean());
+    EXPECT_EQ(first[i].scheme, second[i].scheme);
+  }
+  util::ThreadPool::set_shared_threads(0);  // restore default sizing
+}
+
+}  // namespace
+}  // namespace dtnic::scenario

@@ -113,6 +113,41 @@ TEST_F(ConnectivityFixture, GateSuppressesContact) {
   EXPECT_EQ(manager.contacts_suppressed(), 1u);
 }
 
+TEST_F(ConnectivityFixture, SuppressedTeardownDoesNotGrowAdjacency) {
+  // Regression: teardown used operator[] on the adjacency map, inserting
+  // empty sets for nodes whose pairs were only ever suppressed — unbounded
+  // growth over long selfish-heavy runs. Under a 100%-suppressed gate the
+  // map must stay empty no matter how much encounter churn happens.
+  manager.set_participation_gate([](NodeId) { return false; });
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  // An orbiter that repeatedly enters and leaves range of node 0.
+  std::vector<WaypointTrace::Keyframe> keyframes;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    keyframes.push_back({SimTime::seconds(cycle * 20.0), {50, 0}});
+    keyframes.push_back({SimTime::seconds(cycle * 20.0 + 10.0), {300, 0}});
+  }
+  (void)add(std::make_unique<WaypointTrace>(std::move(keyframes)));
+  manager.start();
+  sim.run_until(SimTime::seconds(200));
+  EXPECT_GE(manager.contacts_suppressed(), 10u);
+  EXPECT_EQ(manager.adjacency_entries(), 0u);
+  EXPECT_EQ(manager.active_links(), 0u);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(ConnectivityFixture, AdjacencyEntriesErasedWhenLinksDrop) {
+  // Connected pairs that separate must not leave empty sets behind.
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  (void)add(std::make_unique<WaypointTrace>(std::vector<WaypointTrace::Keyframe>{
+      {SimTime::seconds(0), {50, 0}}, {SimTime::seconds(20), {400, 0}}}));
+  manager.start();
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(manager.adjacency_entries(), 2u);  // both endpoints have a link
+  sim.run_until(SimTime::seconds(30));
+  EXPECT_EQ(manager.active_links(), 0u);
+  EXPECT_EQ(manager.adjacency_entries(), 0u);
+}
+
 TEST_F(ConnectivityFixture, NeighborsSortedAndSymmetric) {
   const NodeId a = add(std::make_unique<Stationary>(Vec2{0, 0}));
   const NodeId b = add(std::make_unique<Stationary>(Vec2{50, 0}));

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 
@@ -216,15 +218,25 @@ TEST(ExperimentRunner, AggregatesAcrossSeeds) {
   EXPECT_EQ(agg.scheme, "incentive");
 }
 
-TEST(ExperimentRunner, MeanSeriesAlignsOnFirstRun) {
+TEST(ExperimentRunner, MeanSeriesCoversUnionOfSampleTimes) {
   ExperimentRunner runner(2, 1);
   auto cfg = small(Scheme::kIncentive);
   cfg.malicious_fraction = 0.1;
   const AggregateResult agg = runner.run(cfg);
   const auto series = ExperimentRunner::mean_series(agg.raw);
   ASSERT_FALSE(series.empty());
-  EXPECT_EQ(series.size(), agg.raw[0].malicious_rating.size());
+  // The grid is the sorted union of every run's sample times (deduplicated),
+  // so no run's samples can outnumber it and every run's times appear.
+  std::set<double> union_times;
+  for (const RunResult& r : agg.raw) {
+    for (const auto& s : r.malicious_rating.samples()) union_times.insert(s.time.sec());
+  }
+  EXPECT_EQ(series.size(), union_times.size());
+  double prev = -1.0;
   for (const auto& [t, v] : series) {
+    EXPECT_TRUE(union_times.count(t));
+    EXPECT_GT(t, prev);  // strictly increasing grid
+    prev = t;
     EXPECT_GE(v, 0.0);
     EXPECT_LE(v, 5.0);
   }

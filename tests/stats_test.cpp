@@ -125,17 +125,41 @@ TEST(TimeSeries, ValueAtStepFunction) {
   TimeSeries ts;
   ts.add(SimTime::seconds(10), 1.0);
   ts.add(SimTime::seconds(20), 2.0);
-  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(5)), 1.0);   // before first
+  // Before the first sample the series sits at its initial value (0 by
+  // default) — NOT at the first observed sample.
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(5)), 0.0);
   EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(10)), 1.0);
   EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(15)), 1.0);
   EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(20)), 2.0);
   EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(99)), 2.0);
 }
 
-TEST(TimeSeries, EmptyValueAtIsZero) {
+TEST(TimeSeries, ValueAtBeforeFirstSampleUsesInitialValue) {
+  // Fig. 5.4 semantics: malicious ratings start at the rating-scale prior
+  // (3.5), so pre-sample queries must report the prior, not the first
+  // observation.
+  TimeSeries ts(3.5);
+  EXPECT_DOUBLE_EQ(ts.initial_value(), 3.5);
+  ts.add(SimTime::seconds(100), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(0)), 3.5);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(99)), 3.5);
+  EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(100)), 2.0);
+
+  TimeSeries configured;
+  configured.set_initial_value(1.25);
+  configured.add(SimTime::seconds(10), 7.0);
+  EXPECT_DOUBLE_EQ(configured.value_at(SimTime::seconds(9)), 1.25);
+}
+
+TEST(TimeSeries, EmptyValueAtIsInitialValue) {
   TimeSeries ts;
   EXPECT_DOUBLE_EQ(ts.value_at(SimTime::seconds(5)), 0.0);
   EXPECT_DOUBLE_EQ(ts.last_value(), 0.0);
+
+  TimeSeries with_prior(4.0);
+  EXPECT_DOUBLE_EQ(with_prior.value_at(SimTime::seconds(5)), 4.0);
+  EXPECT_DOUBLE_EQ(with_prior.last_value(), 4.0);
+  EXPECT_DOUBLE_EQ(with_prior.first_value(), 4.0);
 }
 
 }  // namespace
