@@ -5,6 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/incentive.h"
 #include "core/reputation.h"
 #include "mobility/random_waypoint.h"
@@ -43,23 +51,103 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
+/// Cancel-heavy queue usage (timeouts that almost never fire): most pushed
+/// events are cancelled before popping. Exercises the drain/compaction path
+/// that keeps cancel bookkeeping bounded by live events.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(9);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(q.push(util::SimTime::seconds(rng.uniform(0.0, 1000.0)), [] {}));
+      // Cancel a random earlier event ~15/16 of the time, mimicking
+      // timeout-style events that are rescheduled before they fire.
+      if (!ids.empty() && rng.below(16) != 0) {
+        const std::size_t victim = rng.below(ids.size());
+        q.cancel(ids[victim]);
+        ids[victim] = ids.back();
+        ids.pop_back();
+      }
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+    benchmark::DoNotOptimize(q.heap_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(1024)->Arg(16384);
+
+/// Shared motion model for the contact-scan kernels: nodes at 100/km²
+/// with random velocities, bouncing off the area walls. One step() is
+/// one scan tick's worth of movement (pedestrian speeds, 5 s tick).
+struct ScanWorld {
+  explicit ScanWorld(int nodes, std::uint64_t seed = 3)
+      : side(std::sqrt(nodes / 100.0) * 1000.0), pos(nodes), vel(nodes) {
+    util::Rng rng(seed);
+    for (auto& p : pos) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    for (auto& v : vel) v = {rng.uniform(-7.5, 7.5), rng.uniform(-7.5, 7.5)};
+  }
+  void step() {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      double x = pos[i].x + vel[i].x;
+      double y = pos[i].y + vel[i].y;
+      if (x < 0.0 || x > side) { vel[i].x = -vel[i].x; x = pos[i].x; }
+      if (y < 0.0 || y > side) { vel[i].y = -vel[i].y; y = pos[i].y; }
+      pos[i] = {x, y};
+    }
+  }
+  double side;
+  std::vector<util::Vec2> pos;
+  std::vector<util::Vec2> vel;
+};
+
+/// The steady-state hot path: nodes already resident in the grid, each scan
+/// moves them and re-enumerates pairs into a reused scratch vector.
 void BM_SpatialGridScan(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
-  util::Rng rng(3);
-  const double side = std::sqrt(nodes / 100.0) * 1000.0;  // 100 nodes per km²
-  std::vector<util::Vec2> pos(nodes);
-  for (auto& p : pos) p = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+  ScanWorld world(nodes);
   net::SpatialGrid grid(100.0);
+  std::vector<std::size_t> slots(world.pos.size());
+  for (int i = 0; i < nodes; ++i) {
+    slots[static_cast<std::size_t>(i)] =
+        grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
+                    world.pos[static_cast<std::size_t>(i)]);
+  }
+  std::vector<net::SpatialGrid::Pair> pairs;
   for (auto _ : state) {
-    grid.clear();
-    for (int i = 0; i < nodes; ++i) {
-      grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)), pos[i]);
-    }
-    benchmark::DoNotOptimize(grid.pairs_within(100.0));
+    world.step();
+    for (std::size_t i = 0; i < slots.size(); ++i) grid.update_slot(slots[i], world.pos[i]);
+    grid.pairs_within(100.0, pairs);
+    benchmark::DoNotOptimize(pairs.data());
   }
   state.SetItemsProcessed(state.iterations() * nodes);
 }
 BENCHMARK(BM_SpatialGridScan)->Arg(100)->Arg(500)->Arg(2000);
+
+/// The pre-incremental shape (clear + reinsert every tick), kept as the
+/// reference point the incremental scan is measured against.
+void BM_SpatialGridRebuild(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  ScanWorld world(nodes);
+  net::SpatialGrid grid(100.0);
+  std::vector<net::SpatialGrid::Pair> pairs;
+  for (auto _ : state) {
+    world.step();
+    grid.clear();
+    for (int i = 0; i < nodes; ++i) {
+      (void)grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
+                        world.pos[static_cast<std::size_t>(i)]);
+    }
+    grid.pairs_within(100.0, pairs);
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_SpatialGridRebuild)->Arg(100)->Arg(500)->Arg(2000);
 
 void BM_RandomWaypointStep(benchmark::State& state) {
   mobility::RandomWaypointParams params;
@@ -174,6 +262,98 @@ void BM_ScenarioMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioMinute)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+/// Hand-timed run of one contact-scan kernel for the machine-readable
+/// summary: returns ns per scan and the pair count of the last scan.
+struct KernelSample {
+  double ns_per_scan = 0.0;
+  std::size_t pairs = 0;
+};
+
+KernelSample time_scan_kernel(bool incremental, int nodes, int iterations) {
+  ScanWorld world(nodes);
+  net::SpatialGrid grid(100.0);
+  std::vector<std::size_t> slots;
+  if (incremental) {
+    slots.resize(world.pos.size());
+    for (int i = 0; i < nodes; ++i) {
+      slots[static_cast<std::size_t>(i)] =
+          grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
+                      world.pos[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::vector<net::SpatialGrid::Pair> pairs;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    world.step();
+    if (incremental) {
+      for (std::size_t i = 0; i < slots.size(); ++i) grid.update_slot(slots[i], world.pos[i]);
+    } else {
+      grid.clear();
+      for (int i = 0; i < nodes; ++i) {
+        (void)grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
+                          world.pos[static_cast<std::size_t>(i)]);
+      }
+    }
+    grid.pairs_within(100.0, pairs);
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  KernelSample sample;
+  sample.ns_per_scan =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(iterations);
+  sample.pairs = pairs.size();
+  return sample;
+}
+
+/// Emit BENCH_contact_scan.json: a machine-readable summary of the contact
+/// scan kernels for CI (bench-smoke) and regression tracking. Controlled by
+/// DTNIC_BENCH_JSON (output path; default alongside the binary) and
+/// DTNIC_BENCH_JSON_FAST (any value: fewer iterations, smoke-test scale).
+void write_contact_scan_json() {
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_contact_scan.json";
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+
+  struct Case {
+    const char* kernel;
+    bool incremental;
+    int nodes;
+  };
+  constexpr Case kCases[] = {
+      {"scan_incremental", true, 100},  {"scan_incremental", true, 500},
+      {"scan_incremental", true, 2000}, {"scan_rebuild", false, 100},
+      {"scan_rebuild", false, 500},     {"scan_rebuild", false, 2000},
+  };
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_kernel: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"schema\": \"dtnic.contact_scan_bench.v1\",\n  \"results\": [\n";
+  bool first = true;
+  for (const Case& c : kCases) {
+    const int iterations = fast ? 20 : (c.nodes >= 2000 ? 500 : 2000);
+    const KernelSample sample = time_scan_kernel(c.incremental, c.nodes, iterations);
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"kernel\": \"" << c.kernel << "\", \"nodes\": " << c.nodes
+       << ", \"iterations\": " << iterations << ", \"ns_per_scan\": " << sample.ns_per_scan
+       << ", \"pairs\": " << sample.pairs << "}";
+  }
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_contact_scan_json();
+  return 0;
+}

@@ -1,0 +1,54 @@
+# Validates the machine-readable benchmark artifact written by micro_kernel
+# (BENCH_contact_scan.json). Run in script mode:
+#
+#   cmake -DJSON_FILE=<path> -P cmake/validate_bench_json.cmake
+#
+# Fails (FATAL_ERROR) unless the file parses, carries the expected schema
+# tag, and every result row has the required keys with sane values. Used by
+# the `bench_smoke_json_schema` ctest so CI catches a silently broken or
+# truncated artifact, not just a crashing benchmark.
+
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "pass -DJSON_FILE=<path to BENCH_contact_scan.json>")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "benchmark artifact not found: ${JSON_FILE}")
+endif()
+
+file(READ "${JSON_FILE}" _doc)
+
+string(JSON _schema ERROR_VARIABLE _err GET "${_doc}" schema)
+if(_err)
+  message(FATAL_ERROR "missing 'schema' key in ${JSON_FILE}: ${_err}")
+endif()
+if(NOT _schema STREQUAL "dtnic.contact_scan_bench.v1")
+  message(FATAL_ERROR "unexpected schema tag '${_schema}' in ${JSON_FILE}")
+endif()
+
+string(JSON _count ERROR_VARIABLE _err LENGTH "${_doc}" results)
+if(_err)
+  message(FATAL_ERROR "missing 'results' array in ${JSON_FILE}: ${_err}")
+endif()
+if(_count LESS 2)
+  message(FATAL_ERROR "expected at least 2 result rows, got ${_count}")
+endif()
+
+math(EXPR _last "${_count} - 1")
+foreach(_i RANGE ${_last})
+  foreach(_key kernel nodes iterations ns_per_scan pairs)
+    string(JSON _val ERROR_VARIABLE _err GET "${_doc}" results ${_i} ${_key})
+    if(_err)
+      message(FATAL_ERROR "results[${_i}] missing '${_key}': ${_err}")
+    endif()
+  endforeach()
+  string(JSON _ns GET "${_doc}" results ${_i} ns_per_scan)
+  if(_ns LESS_EQUAL 0)
+    message(FATAL_ERROR "results[${_i}].ns_per_scan must be positive, got ${_ns}")
+  endif()
+  string(JSON _nodes GET "${_doc}" results ${_i} nodes)
+  if(_nodes LESS_EQUAL 0)
+    message(FATAL_ERROR "results[${_i}].nodes must be positive, got ${_nodes}")
+  endif()
+endforeach()
+
+message(STATUS "${JSON_FILE}: schema ok, ${_count} result rows")

@@ -13,6 +13,7 @@
 
 #include "scenario/config_io.h"
 #include "scenario/experiment.h"
+#include "scenario/report.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "3", "simulation runs to average");
   cli.add_flag("threads", "0", "worker threads (0 = DTNIC_THREADS or hardware)");
   cli.add_flag("print-config", "false", "dump the effective configuration and exit");
+  cli.add_flag("timing", "false", "print a per-phase wall-clock breakdown after the report");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.usage(argv[0]);
     return 0;
@@ -74,5 +76,24 @@ int main(int argc, char** argv) {
   row("refused: no tokens", agg.refused_no_tokens, 1);
   row("refused: untrusted", agg.refused_untrusted, 1);
   table.print(std::cout);
+
+  if (cli.get_bool("timing")) {
+    std::cout << "\nper-phase wall-clock (mean across " << agg.runs << " seed(s), ms):\n";
+    util::Table timing({"phase", "mean ms", "stddev"});
+    auto trow = [&timing](const std::string& name, const util::RunningStats& s) {
+      timing.add_row(
+          {name, util::Table::cell(s.mean(), 2), util::Table::cell(s.stddev(), 2)});
+    };
+    trow("contact scan", agg.scan_ms);
+    trow("routing", agg.routing_ms);
+    trow("transfer", agg.transfer_ms);
+    trow("workload", agg.workload_ms);
+    trow("wall", agg.wall_ms);
+    timing.print(std::cout);
+    if (!agg.raw.empty()) {
+      std::cout << "\nseed " << agg.raw.front().seed << " breakdown:\n";
+      scenario::write_timing_report(std::cout, agg.raw.front().timing);
+    }
+  }
   return 0;
 }

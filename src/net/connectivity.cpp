@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/timing.h"
 
 namespace dtnic::net {
 
@@ -40,97 +41,123 @@ void ConnectivityManager::stop() {
 }
 
 void ConnectivityManager::scan() {
+  const util::ScopedTimer timer(scan_ns_);
+  ++scans_;
   const util::SimTime now = sim_.now();
-  grid_.clear();
-  for (const NodeEntry& node : nodes_) {
-    grid_.insert(node.id, node.mobility->position_at(now));
+
+  // Refresh positions: one mobility query per node, cached for the rest of
+  // the tick; the grid moves only nodes whose cell changed. Nodes added
+  // since the last scan get their grid slot on first sight.
+  positions_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const util::Vec2 p = nodes_[i].mobility->position_at(now);
+    positions_[i] = p;
+    if (i < grid_slots_.size()) {
+      grid_.update_slot(grid_slots_[i], p);
+    } else {
+      grid_slots_.push_back(grid_.insert(nodes_[i].id, p));
+    }
   }
+  positions_time_ = now;
+  positions_cached_ = true;
 
-  const auto pairs = grid_.pairs_within(radio_.range_m);
-  std::unordered_set<std::uint64_t> in_range;
-  in_range.reserve(pairs.size() * 2);
+  grid_.pairs_within(radio_.range_m, scan_pairs_);  // sorted by (lo, hi)
 
-  for (const SpatialGrid::Pair& p : pairs) {
+  // One linear merge of the previous and current sorted pair lists replaces
+  // the per-scan hash-set diff. Fresh encounters fire link_up immediately
+  // (in sorted order); vanished pairs are collected and torn down after, so
+  // the up-then-down phase structure of a scan is preserved.
+  next_pairs_.clear();
+  downs_.clear();
+  auto prev = pairs_.cbegin();
+  const auto prev_end = pairs_.cend();
+  for (const SpatialGrid::Pair& p : scan_pairs_) {
     const std::uint64_t key = pair_key(p.a, p.b);
-    in_range.insert(key);
-    if (pair_states_.count(key)) continue;  // already connected or suppressed
+    while (prev != prev_end && prev->key < key) {
+      if (prev->state == PairState::kConnected) downs_.push_back(prev->key);
+      ++prev;
+    }
+    if (prev != prev_end && prev->key == key) {  // already connected or suppressed
+      next_pairs_.push_back(*prev);
+      ++prev;
+      continue;
+    }
     // Fresh encounter: each endpoint decides whether its radio participates.
     const bool participates = !gate_ || (gate_(p.a) && gate_(p.b));
     if (!participates) {
-      pair_states_.emplace(key, PairState::kSuppressed);
+      next_pairs_.push_back(PairRec{key, PairState::kSuppressed});
       ++contacts_suppressed_;
       continue;
     }
-    pair_states_.emplace(key, PairState::kConnected);
-    adjacency_[p.a].insert(p.b);
-    adjacency_[p.b].insert(p.a);
+    next_pairs_.push_back(PairRec{key, PairState::kConnected});
+    add_adjacency(p.a, p.b);
+    add_adjacency(p.b, p.a);
+    ++links_;
     ++contacts_formed_;
     if (link_up_) link_up_(p.a, p.b, p.distance_m);
   }
-
-  // Tear down pairs that moved out of range.
-  for (auto it = pair_states_.begin(); it != pair_states_.end();) {
-    if (in_range.count(it->first)) {
-      ++it;
-      continue;
-    }
-    const NodeId a(static_cast<util::NodeId::underlying>(it->first >> 32));
-    const NodeId b(static_cast<util::NodeId::underlying>(it->first & 0xffffffffULL));
-    const bool was_connected = it->second == PairState::kConnected;
-    it = pair_states_.erase(it);
-    if (was_connected) {
-      // find(), not operator[]: teardown must never create adjacency
-      // entries, and sets left empty are erased so the map tracks only
-      // nodes with live links (selfish-heavy runs suppress most pairs).
-      drop_adjacency(a, b);
-      drop_adjacency(b, a);
-      if (link_down_) link_down_(a, b);
-    }
+  while (prev != prev_end) {
+    if (prev->state == PairState::kConnected) downs_.push_back(prev->key);
+    ++prev;
   }
+  pairs_.swap(next_pairs_);
+
+  // Tear down pairs that moved out of range (suppressed pairs vanish
+  // silently, as before). downs_ inherits the sorted key order.
+  for (const std::uint64_t key : downs_) {
+    const NodeId a(static_cast<util::NodeId::underlying>(key >> 32));
+    const NodeId b(static_cast<util::NodeId::underlying>(key & 0xffffffffULL));
+    drop_adjacency(a, b);
+    drop_adjacency(b, a);
+    --links_;
+    if (link_down_) link_down_(a, b);
+  }
+}
+
+void ConnectivityManager::add_adjacency(NodeId node, NodeId neighbor) {
+  auto& list = adjacency_[node];
+  list.insert(std::upper_bound(list.begin(), list.end(), neighbor), neighbor);
 }
 
 void ConnectivityManager::drop_adjacency(NodeId node, NodeId neighbor) {
   const auto it = adjacency_.find(node);
   if (it == adjacency_.end()) return;
-  it->second.erase(neighbor);
-  if (it->second.empty()) adjacency_.erase(it);
+  auto& list = it->second;
+  const auto pos = std::lower_bound(list.begin(), list.end(), neighbor);
+  if (pos != list.end() && *pos == neighbor) list.erase(pos);
+  if (list.empty()) adjacency_.erase(it);
 }
 
 bool ConnectivityManager::connected(NodeId a, NodeId b) const {
-  auto it = pair_states_.find(pair_key(a, b));
-  return it != pair_states_.end() && it->second == PairState::kConnected;
+  const auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), b);
 }
 
 std::vector<NodeId> ConnectivityManager::neighbors_of(NodeId id) const {
-  auto it = adjacency_.find(id);
+  const auto it = adjacency_.find(id);
   if (it == adjacency_.end()) return {};
-  std::vector<NodeId> out(it->second.begin(), it->second.end());
-  std::sort(out.begin(), out.end());  // deterministic order across platforms
-  return out;
+  return it->second;  // maintained sorted; no per-call sort
 }
 
 std::vector<std::pair<NodeId, NodeId>> ConnectivityManager::connected_pairs() const {
   std::vector<std::pair<NodeId, NodeId>> out;
-  for (const auto& [key, state] : pair_states_) {
-    if (state != PairState::kConnected) continue;
-    out.emplace_back(NodeId(static_cast<util::NodeId::underlying>(key >> 32)),
-                     NodeId(static_cast<util::NodeId::underlying>(key & 0xffffffffULL)));
+  out.reserve(links_);
+  // pairs_ is sorted by key == lexicographic (lo, hi) order.
+  for (const PairRec& rec : pairs_) {
+    if (rec.state != PairState::kConnected) continue;
+    out.emplace_back(NodeId(static_cast<util::NodeId::underlying>(rec.key >> 32)),
+                     NodeId(static_cast<util::NodeId::underlying>(rec.key & 0xffffffffULL)));
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::size_t ConnectivityManager::active_links() const {
-  std::size_t n = 0;
-  for (const auto& [key, state] : pair_states_) {
-    if (state == PairState::kConnected) ++n;
-  }
-  return n;
-}
-
 util::Vec2 ConnectivityManager::position_of(NodeId id) {
-  auto it = node_index_.find(id);
+  const auto it = node_index_.find(id);
   DTNIC_REQUIRE_MSG(it != node_index_.end(), "unknown node");
+  if (positions_cached_ && positions_time_ == sim_.now() && it->second < positions_.size()) {
+    return positions_[it->second];
+  }
   return nodes_[it->second].mobility->position_at(sim_.now());
 }
 

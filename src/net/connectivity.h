@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mobility/mobility_model.h"
@@ -19,6 +18,13 @@
 /// range is exceeded (link down). A participation gate is consulted once per
 /// fresh encounter per node — this is how selfish nodes "switch off the
 /// communication medium" (paper §5.A: the radio is open 1 of 10 encounters).
+///
+/// The scan is incremental and allocation-free at steady state: the spatial
+/// grid keeps persistent per-node slots and only moves nodes whose cell
+/// changed, the in-range pair list arrives sorted by (lo, hi) key, and the
+/// previous scan's list is diffed against it with one linear merge — no
+/// per-scan hash set, and link up/down callbacks fire in sorted pair order,
+/// deterministically across platforms and hash layouts.
 
 namespace dtnic::net {
 
@@ -44,16 +50,20 @@ class ConnectivityManager final : public ContactSource {
   void scan();
 
   [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+  /// Current neighbors of \p id, already sorted (kept sorted incrementally;
+  /// no per-call sort).
   [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id) const override;
   /// All currently connected pairs, sorted (deterministic iteration).
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> connected_pairs() const override;
-  [[nodiscard]] std::size_t active_links() const;
+  [[nodiscard]] std::size_t active_links() const { return links_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   /// Nodes currently holding a non-empty neighbor set (bounded-growth
   /// invariant: never exceeds the nodes with at least one live link).
   [[nodiscard]] std::size_t adjacency_entries() const { return adjacency_.size(); }
 
-  /// Position of a node at the current simulation time.
+  /// Position of a node at the current simulation time. Positions computed
+  /// by the latest scan are cached for the rest of that tick, so routers
+  /// querying mid-scan do not re-invoke the mobility models.
   [[nodiscard]] util::Vec2 position_of(NodeId id);
 
   /// Total contacts formed so far (suppressed encounters excluded).
@@ -63,13 +73,22 @@ class ConnectivityManager final : public ContactSource {
     return contacts_suppressed_;
   }
 
- private:
-  enum class PairState { kConnected, kSuppressed };
+  /// Wall-clock nanoseconds spent inside scan() so far, excluding time spent
+  /// in nested link up/down callbacks (see util::ScopedTimer), and the
+  /// number of scans run. Observability only; never affects the simulation.
+  [[nodiscard]] std::uint64_t scan_ns() const { return scan_ns_; }
+  [[nodiscard]] std::uint64_t scans() const { return scans_; }
 
+ private:
+  enum class PairState : std::uint8_t { kConnected, kSuppressed };
+
+  /// (lo, hi) id pair packed into one key; key order == lexicographic pair
+  /// order, which the merge in scan() relies on.
   static std::uint64_t pair_key(NodeId a, NodeId b);
 
-  /// Remove \p neighbor from \p node's adjacency set without ever creating
-  /// an entry; erases the set once empty.
+  void add_adjacency(NodeId node, NodeId neighbor);
+  /// Remove \p neighbor from \p node's adjacency list without ever creating
+  /// an entry; erases the list once empty.
   void drop_adjacency(NodeId node, NodeId neighbor);
 
   sim::Simulator& sim_;
@@ -85,8 +104,28 @@ class ConnectivityManager final : public ContactSource {
   std::unordered_map<NodeId, std::size_t> node_index_;
 
   SpatialGrid grid_;
-  std::unordered_map<std::uint64_t, PairState> pair_states_;
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> adjacency_;
+  std::vector<std::size_t> grid_slots_;  ///< grid slot per node index
+
+  /// Known pairs (connected or suppressed), sorted by key; the previous
+  /// scan's list is merged against the current in-range list each scan.
+  struct PairRec {
+    std::uint64_t key;
+    PairState state;
+  };
+  std::vector<PairRec> pairs_;
+  /// Neighbor lists, kept sorted by incremental insertion/removal.
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
+  std::size_t links_ = 0;
+
+  // Scratch buffers reused across scans (steady state allocates nothing).
+  std::vector<PairRec> next_pairs_;
+  std::vector<SpatialGrid::Pair> scan_pairs_;
+  std::vector<std::uint64_t> downs_;
+
+  // Per-tick position cache filled by scan().
+  std::vector<util::Vec2> positions_;
+  util::SimTime positions_time_ = util::SimTime::zero();
+  bool positions_cached_ = false;
 
   LinkUpFn link_up_;
   LinkDownFn link_down_;
@@ -94,6 +133,8 @@ class ConnectivityManager final : public ContactSource {
 
   std::uint64_t contacts_formed_ = 0;
   std::uint64_t contacts_suppressed_ = 0;
+  std::uint64_t scan_ns_ = 0;
+  std::uint64_t scans_ = 0;
 };
 
 }  // namespace dtnic::net

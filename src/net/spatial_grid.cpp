@@ -1,91 +1,243 @@
 #include "net/spatial_grid.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
 
 namespace dtnic::net {
 
-SpatialGrid::SpatialGrid(double cell_size) : cell_size_(cell_size) {
+namespace {
+
+[[nodiscard]] std::uint64_t pair_key(const SpatialGrid::Pair& p) {
+  return (static_cast<std::uint64_t>(p.a.value()) << 32) | p.b.value();
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(double cell_size)
+    : cell_size_(cell_size), inv_cell_size_(1.0 / cell_size) {
   DTNIC_REQUIRE_MSG(cell_size > 0.0, "cell size must be positive");
 }
 
 void SpatialGrid::clear() {
-  // Keep bucket memory to avoid re-allocating every scan.
-  for (auto& [key, items] : cells_) items.clear();
-  count_ = 0;
+  pool_.clear();
+  free_cells_.clear();
+  cell_index_.clear();
+  slots_.clear();
+  positions_.clear();
+  slot_of_.clear();
+  max_id_ = 0;
 }
 
-std::int64_t SpatialGrid::cell_key(double x, double y) const {
-  const auto cx = static_cast<std::int64_t>(std::floor(x / cell_size_));
-  const auto cy = static_cast<std::int64_t>(std::floor(y / cell_size_));
-  // Interleave into one key; 2^20 cells per axis is ample for any scenario.
-  return (cx << 24) ^ (cy & 0xffffff);
+std::int32_t SpatialGrid::coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v * inv_cell_size_));
 }
 
-void SpatialGrid::insert(util::NodeId id, util::Vec2 position) {
+/// Sort pairs by (a, b). Simulations use small dense node ids, so the common
+/// case is one id-indexed counting pass (the bucket array stays L1-resident)
+/// followed by insertion sort of the tiny equal-a runs — far cheaper than a
+/// comparison sort of the effectively random pool-order input. Sparse id
+/// spaces fall back to std::sort on the packed key.
+void SpatialGrid::sort_pairs(std::vector<Pair>& v) const {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  const std::size_t buckets = static_cast<std::size_t>(max_id_) + 2;
+  if (n <= 64 || buckets > std::max<std::size_t>(4096, 16 * slots_.size())) {
+    std::sort(v.begin(), v.end(),
+              [](const Pair& lhs, const Pair& rhs) { return pair_key(lhs) < pair_key(rhs); });
+    return;
+  }
+  sort_offsets_.assign(buckets, 0);
+  for (const Pair& p : v) ++sort_offsets_[p.a.value() + 1];
+  for (std::size_t i = 1; i < buckets; ++i) sort_offsets_[i] += sort_offsets_[i - 1];
+  sort_scratch_.resize(n);
+  for (const Pair& p : v) sort_scratch_[sort_offsets_[p.a.value()]++] = p;
+  // After the scatter, sort_offsets_[a] is the end of a's run; order each
+  // run by b (runs hold the handful of neighbors one node has in range).
+  std::size_t begin = 0;
+  for (std::size_t a = 0; a + 1 < buckets; ++a) {
+    const std::size_t end = sort_offsets_[a];
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const Pair p = sort_scratch_[i];
+      std::size_t j = i;
+      while (j > begin && sort_scratch_[j - 1].b > p.b) {
+        sort_scratch_[j] = sort_scratch_[j - 1];
+        --j;
+      }
+      sort_scratch_[j] = p;
+    }
+    begin = end;
+  }
+  v.swap(sort_scratch_);
+}
+
+std::uint32_t SpatialGrid::cell_at(std::int32_t cx, std::int32_t cy) {
+  const auto [it, created] = cell_index_.try_emplace(key_of(cx, cy), 0);
+  if (!created) return it->second;
+  std::uint32_t index;
+  if (!free_cells_.empty()) {
+    index = free_cells_.back();
+    free_cells_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  it->second = index;
+  Cell& cell = pool_[index];
+  cell.cx = cx;
+  cell.cy = cy;
+  cell.count = 0;
+  // Link the half-neighborhood both ways so pair enumeration and pruning
+  // can walk pool indices instead of doing hash lookups per cell per scan.
+  for (int k = 0; k < 4; ++k) {
+    cell.half[k] = -1;
+    cell.rev[k] = -1;
+    if (const auto fwd = cell_index_.find(key_of(cx + kHalf[k][0], cy + kHalf[k][1]));
+        fwd != cell_index_.end()) {
+      cell.half[k] = static_cast<std::int32_t>(fwd->second);
+      pool_[fwd->second].rev[k] = static_cast<std::int32_t>(index);
+    }
+    if (const auto rev = cell_index_.find(key_of(cx - kHalf[k][0], cy - kHalf[k][1]));
+        rev != cell_index_.end()) {
+      cell.rev[k] = static_cast<std::int32_t>(rev->second);
+      pool_[rev->second].half[k] = static_cast<std::int32_t>(index);
+    }
+  }
+  return index;
+}
+
+void SpatialGrid::place(std::uint32_t slot, std::uint32_t cell_index) {
+  Cell& cell = pool_[cell_index];
+  Slot& s = slots_[slot];
+  s.cell = static_cast<std::int32_t>(cell_index);
+  s.index = cell.count;
+  s.cx = cell.cx;
+  s.cy = cell.cy;
+  const Entry entry{s.id, slot};
+  if (cell.count < kInline) {
+    cell.items[cell.count] = entry;
+  } else {
+    cell.overflow.push_back(entry);
+  }
+  ++cell.count;
+}
+
+void SpatialGrid::unplace(std::uint32_t slot) {
+  const std::int32_t cell_index = slots_[slot].cell;
+  Cell& cell = pool_[static_cast<std::uint32_t>(cell_index)];
+  const std::uint32_t index = slots_[slot].index;
+  const std::uint32_t last = cell.count - 1;
+  if (index != last) {
+    const Entry moved = entry_ref(cell, last);
+    entry_ref(cell, index) = moved;
+    slots_[moved.slot].index = index;
+  }
+  if (last >= kInline) cell.overflow.pop_back();
+  cell.count = last;
+  if (last == 0) {
+    // Prune: unlink the whole neighborhood through the stored reciprocal
+    // indices, then recycle the pool entry.
+    for (int k = 0; k < 4; ++k) {
+      if (cell.half[k] >= 0) pool_[static_cast<std::uint32_t>(cell.half[k])].rev[k] = -1;
+      if (cell.rev[k] >= 0) pool_[static_cast<std::uint32_t>(cell.rev[k])].half[k] = -1;
+    }
+    cell_index_.erase(key_of(cell.cx, cell.cy));
+    free_cells_.push_back(static_cast<std::uint32_t>(cell_index));
+  }
+}
+
+std::size_t SpatialGrid::insert(util::NodeId id, util::Vec2 position) {
   DTNIC_REQUIRE(id.valid());
-  cells_[cell_key(position.x, position.y)].push_back(Item{id, position});
-  ++count_;
+  DTNIC_REQUIRE_MSG(!slot_of_.count(id), "node already in grid");
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(Slot{id, -1, 0, 0, 0});
+  positions_.push_back(position);
+  slot_of_.emplace(id, slot);
+  max_id_ = std::max(max_id_, id.value());
+  place(slot, cell_at(coord(position.x), coord(position.y)));
+  return slot;
+}
+
+void SpatialGrid::update(util::NodeId id, util::Vec2 position) {
+  const auto it = slot_of_.find(id);
+  DTNIC_REQUIRE_MSG(it != slot_of_.end(), "node not in grid");
+  update_slot(it->second, position);
+}
+
+void SpatialGrid::update_slot(std::size_t slot, util::Vec2 position) {
+  DTNIC_ASSERT(slot < slots_.size());
+  Slot& s = slots_[slot];
+  const std::int32_t cx = coord(position.x);
+  const std::int32_t cy = coord(position.y);
+  positions_[slot] = position;
+  // Same cell: the two dense writes above are the whole update — a low-churn
+  // scan tick streams through slots_/positions_ without touching the pool.
+  if (cx == s.cx && cy == s.cy) return;
+  unplace(static_cast<std::uint32_t>(slot));
+  place(static_cast<std::uint32_t>(slot), cell_at(cx, cy));
 }
 
 std::vector<util::NodeId> SpatialGrid::neighbors_of(util::Vec2 center, double radius,
                                                     util::NodeId self) const {
   std::vector<util::NodeId> out;
   const double r2 = radius * radius;
+  const std::int32_t cx = coord(center.x);
+  const std::int32_t cy = coord(center.y);
   for (int dx = -1; dx <= 1; ++dx) {
     for (int dy = -1; dy <= 1; ++dy) {
-      const auto it = cells_.find(
-          cell_key(center.x + dx * cell_size_, center.y + dy * cell_size_));
-      if (it == cells_.end()) continue;
-      for (const Item& item : it->second) {
+      const auto it = cell_index_.find(key_of(cx + dx, cy + dy));
+      if (it == cell_index_.end()) continue;
+      const Cell& cell = pool_[it->second];
+      for (std::uint32_t i = 0; i < cell.count; ++i) {
+        const Entry& item = entry_ref(cell, i);
         if (item.id == self) continue;
-        if (util::distance_sq(center, item.position) <= r2) out.push_back(item.id);
+        if (util::distance_sq(center, positions_[item.slot]) <= r2) out.push_back(item.id);
       }
     }
   }
   return out;
 }
 
-std::vector<SpatialGrid::Pair> SpatialGrid::pairs_within(double radius) const {
+void SpatialGrid::pairs_within(double radius, std::vector<Pair>& out) const {
   DTNIC_REQUIRE_MSG(radius <= cell_size_, "query radius exceeds grid cell size");
-  std::vector<Pair> out;
+  out.clear();
   const double r2 = radius * radius;
-  for (const auto& [key, items] : cells_) {
-    if (items.empty()) continue;
-    // In-cell pairs.
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      for (std::size_t j = i + 1; j < items.size(); ++j) {
-        const double d2 = util::distance_sq(items[i].position, items[j].position);
-        if (d2 <= r2) {
-          const auto lo = std::min(items[i].id, items[j].id);
-          const auto hi = std::max(items[i].id, items[j].id);
-          out.push_back(Pair{lo, hi, std::sqrt(d2)});
-        }
-      }
+  const util::Vec2* const positions = positions_.data();
+  auto emit = [&out, r2, positions](const Entry& lhs, const Entry& rhs) {
+    const double d2 = util::distance_sq(positions[lhs.slot], positions[rhs.slot]);
+    if (d2 > r2) return;
+    const auto lo = std::min(lhs.id, rhs.id);
+    const auto hi = std::max(lhs.id, rhs.id);
+    out.push_back(Pair{lo, hi, std::sqrt(d2)});
+  };
+  // Freed pool entries keep count == 0, so one dense sweep visits exactly
+  // the live cells without consulting the hash map at all.
+  for (const Cell& cell : pool_) {
+    const std::uint32_t n = cell.count;
+    if (n == 0) continue;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Entry& mine = entry_ref(cell, i);
+      for (std::uint32_t j = i + 1; j < n; ++j) emit(mine, entry_ref(cell, j));
     }
-    // Cross-cell pairs: visit half of the 8 neighbors so each unordered cell
-    // pair is examined exactly once. Reconstruct this cell's coordinates from
-    // one member's position.
-    const double bx = std::floor(items.front().position.x / cell_size_);
-    const double by = std::floor(items.front().position.y / cell_size_);
-    static constexpr int kHalfNeighborhood[4][2] = {{1, 0}, {1, 1}, {0, 1}, {-1, 1}};
-    for (const auto& d : kHalfNeighborhood) {
-      const auto it = cells_.find(cell_key((bx + d[0]) * cell_size_ + cell_size_ * 0.5,
-                                           (by + d[1]) * cell_size_ + cell_size_ * 0.5));
-      if (it == cells_.end()) continue;
-      for (const Item& mine : items) {
-        for (const Item& theirs : it->second) {
-          const double d2 = util::distance_sq(mine.position, theirs.position);
-          if (d2 <= r2) {
-            const auto lo = std::min(mine.id, theirs.id);
-            const auto hi = std::max(mine.id, theirs.id);
-            out.push_back(Pair{lo, hi, std::sqrt(d2)});
-          }
-        }
+    for (const std::int32_t other_index : cell.half) {
+      if (other_index < 0) continue;
+      const Cell& other = pool_[static_cast<std::uint32_t>(other_index)];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Entry& mine = entry_ref(cell, i);
+        for (std::uint32_t j = 0; j < other.count; ++j) emit(mine, entry_ref(other, j));
       }
     }
   }
+  // Pool order leaks into the emission order above; sorting by (a, b) makes
+  // the output — and every event sequence derived from it — independent of
+  // layout and churn history.
+  sort_pairs(out);
+}
+
+std::vector<SpatialGrid::Pair> SpatialGrid::pairs_within(double radius) const {
+  std::vector<Pair> out;
+  pairs_within(radius, out);
   return out;
 }
 

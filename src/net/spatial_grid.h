@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -8,10 +9,18 @@
 #include "util/vec2.h"
 
 /// \file spatial_grid.h
-/// Uniform-grid spatial index for range queries. The connectivity scanner
-/// rebuilds it each scan (cheap: one hash insert per node) and asks for all
-/// pairs within radio range; cell size equals the query radius so only the
-/// 3x3 neighborhood must be examined.
+/// Uniform-grid spatial index for range queries. The index is *persistent*:
+/// each node owns a slot for its lifetime and a scan moves only the nodes
+/// whose cell actually changed (`update`), instead of rebuilding the whole
+/// structure. Cells left empty are pruned immediately, so a long roaming run
+/// never grows the cell map beyond the live population. Cell size equals the
+/// query radius so only the 3x3 neighborhood must be examined.
+///
+/// Cells live in one contiguous pool (recycled through a free list) with the
+/// first few entries stored inline, so a pair scan walks dense memory that
+/// fits in cache instead of chasing one heap node per cell; neighbor links
+/// are pool indices, kept as a reciprocal half/rev pair so creating or
+/// pruning a cell patches its neighborhood without hash lookups.
 
 namespace dtnic::net {
 
@@ -20,10 +29,26 @@ class SpatialGrid {
   /// \p cell_size should equal the query radius for the 3x3 guarantee.
   explicit SpatialGrid(double cell_size);
 
-  void clear();
-  void insert(util::NodeId id, util::Vec2 position);
+  SpatialGrid(const SpatialGrid&) = delete;
+  SpatialGrid& operator=(const SpatialGrid&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return count_; }
+  /// Remove every node and cell.
+  void clear();
+
+  /// Register a node (must not already be present). Returns a stable slot
+  /// handle that `update_slot` accepts, so hot callers skip the id lookup.
+  std::size_t insert(util::NodeId id, util::Vec2 position);
+
+  /// Move a node. Only touches the cell map when the node changed cell.
+  void update(util::NodeId id, util::Vec2 position);
+
+  /// Same as `update`, addressed by the slot handle `insert` returned.
+  void update_slot(std::size_t slot, util::Vec2 position);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  /// Occupied cells only; empty cells are pruned, so this never exceeds
+  /// size() no matter how far the population roams.
+  [[nodiscard]] std::size_t cell_count() const { return cell_index_.size(); }
 
   /// All ids strictly within \p radius of \p center (excluding \p self).
   [[nodiscard]] std::vector<util::NodeId> neighbors_of(util::Vec2 center, double radius,
@@ -36,19 +61,101 @@ class SpatialGrid {
     util::NodeId b;
     double distance_m;
   };
+  /// Writes the pairs into \p out (cleared first), sorted by (a, b) — the
+  /// emission order is independent of hash-map layout, which makes every
+  /// consumer deterministic by construction. Reusing \p out across scans
+  /// makes the steady state allocation-free.
+  void pairs_within(double radius, std::vector<Pair>& out) const;
+  /// Convenience wrapper for tests and one-shot callers.
   [[nodiscard]] std::vector<Pair> pairs_within(double radius) const;
 
  private:
-  struct Item {
+  /// Cells store only the id and the slot back-pointer; positions live in the
+  /// dense slot-indexed `positions_` array. That keeps the hot part of a cell
+  /// inside one cache line and lets distance checks read a compact array that
+  /// stays cache-resident across the whole scan.
+  struct Entry {
     util::NodeId id;
-    util::Vec2 position;
+    std::uint32_t slot;  ///< index into positions_ / back-pointer for removal
   };
 
-  [[nodiscard]] std::int64_t cell_key(double x, double y) const;
+  /// Entries stored inside the cell itself. At paper densities (cell size =
+  /// radio range) cells hold one or two nodes, so the overflow vector is
+  /// almost never touched and a scan reads only pool memory.
+  static constexpr std::uint32_t kInline = 4;
+
+  /// Half of the 8-neighborhood; visiting only these from every cell covers
+  /// each unordered cell pair exactly once.
+  static constexpr int kHalf[4][2] = {{1, 0}, {1, 1}, {0, 1}, {-1, 1}};
+
+  /// Field order is deliberate: a pair scan reads count, half and items —
+  /// keeping them first packs the hot bytes into the leading cache lines,
+  /// with the prune/update bookkeeping (rev, coords, overflow) after.
+  struct Cell {
+    std::uint32_t count = 0;  ///< 0 also marks pooled-but-free cells
+    /// Pool index of the half-neighborhood cell in direction kHalf[k]
+    /// (fwd) and of the cell that has *this* as its kHalf[k] neighbor
+    /// (rev); -1 when absent. Reciprocal by construction, so pruning a
+    /// cell unlinks its whole neighborhood without hash lookups.
+    std::int32_t half[4] = {-1, -1, -1, -1};
+    std::array<Entry, kInline> items;  ///< entries [0, min(count, kInline))
+    std::int32_t rev[4] = {-1, -1, -1, -1};
+    std::int32_t cx = 0;
+    std::int32_t cy = 0;
+    std::vector<Entry> overflow;  ///< entries [kInline, count)
+  };
+
+  struct Slot {
+    util::NodeId id;
+    std::int32_t cell = -1;   ///< pool index
+    std::uint32_t index = 0;  ///< position within the cell's entries
+    /// Cached cell coordinates: the same-cell fast path in `update_slot`
+    /// compares against these and writes `positions_` only, so a scan tick
+    /// with little churn streams through two dense arrays and never touches
+    /// the cell pool.
+    std::int32_t cx = 0;
+    std::int32_t cy = 0;
+  };
+
+  /// Packs two sign-preserved 32-bit cell coordinates into one key; unlike
+  /// the old `(cx << 24) ^ cy` scheme this cannot alias distant cells or
+  /// mix negative and positive coordinates.
+  [[nodiscard]] static std::uint64_t key_of(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  [[nodiscard]] std::int32_t coord(double v) const;
+
+  [[nodiscard]] static Entry& entry_ref(Cell& cell, std::uint32_t i) {
+    return i < kInline ? cell.items[i] : cell.overflow[i - kInline];
+  }
+  [[nodiscard]] static const Entry& entry_ref(const Cell& cell, std::uint32_t i) {
+    return i < kInline ? cell.items[i] : cell.overflow[i - kInline];
+  }
+
+  /// Find-or-create the cell at (cx, cy); returns its pool index.
+  std::uint32_t cell_at(std::int32_t cx, std::int32_t cy);
+  /// Order pairs by (a, b); counting sort on dense ids, std::sort fallback.
+  void sort_pairs(std::vector<Pair>& v) const;
+  void place(std::uint32_t slot, std::uint32_t cell_index);
+  /// Swap-remove the slot's entry from its cell; prunes the cell if emptied.
+  void unplace(std::uint32_t slot);
 
   double cell_size_;
-  std::size_t count_ = 0;
-  std::unordered_map<std::int64_t, std::vector<Item>> cells_;
+  double inv_cell_size_;  ///< coord() multiplies instead of dividing
+  /// Largest id ever inserted; lets the pair sort use an id-indexed
+  /// counting pass instead of a generic comparison sort.
+  std::uint32_t max_id_ = 0;
+  std::vector<Cell> pool_;
+  std::vector<std::uint32_t> free_cells_;
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_index_;
+  std::vector<Slot> slots_;
+  std::vector<util::Vec2> positions_;  ///< slot-indexed; the scan's hot array
+  std::unordered_map<util::NodeId, std::uint32_t> slot_of_;
+  /// Sort double buffer and per-id bucket offsets, kept across scans so the
+  /// steady state does not allocate.
+  mutable std::vector<Pair> sort_scratch_;
+  mutable std::vector<std::uint32_t> sort_offsets_;
 };
 
 }  // namespace dtnic::net

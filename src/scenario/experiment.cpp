@@ -62,6 +62,12 @@ AggregateResult ExperimentRunner::aggregate(std::string scheme, std::vector<RunR
     agg.refused_untrusted.add(static_cast<double>(r.refused_untrusted));
     agg.mean_latency_s.add(r.mean_latency_s);
     agg.mean_hops.add(r.mean_hops);
+    constexpr double kMs = 1e-6;
+    agg.scan_ms.add(static_cast<double>(r.timing.scan_ns) * kMs);
+    agg.routing_ms.add(static_cast<double>(r.timing.routing_ns) * kMs);
+    agg.transfer_ms.add(static_cast<double>(r.timing.transfer_ns) * kMs);
+    agg.workload_ms.add(static_cast<double>(r.timing.workload_ns) * kMs);
+    agg.wall_ms.add(static_cast<double>(r.timing.wall_ns) * kMs);
     agg.raw.push_back(std::move(r));
     ++agg.runs;
   }

@@ -36,6 +36,13 @@ struct AggregateResult {
   util::RunningStats refused_untrusted;
   util::RunningStats mean_latency_s;
   util::RunningStats mean_hops;
+  /// Per-phase wall-clock cost across seeds, in milliseconds (observability
+  /// only: never part of figure outputs).
+  util::RunningStats scan_ms;
+  util::RunningStats routing_ms;
+  util::RunningStats transfer_ms;
+  util::RunningStats workload_ms;
+  util::RunningStats wall_ms;
   std::vector<RunResult> raw;  ///< per-seed results (time series live here)
 };
 

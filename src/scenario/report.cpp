@@ -39,6 +39,32 @@ void write_run_report(std::ostream& os, const RunResult& result) {
   table.print(os);
 }
 
+void write_timing_report(std::ostream& os, const PhaseTimings& timing) {
+  constexpr double kMs = 1e-6;
+  const double wall_ms = static_cast<double>(timing.wall_ns) * kMs;
+  util::Table table({"phase", "ms", "% wall"});
+  auto row = [&table, wall_ms](const std::string& name, std::uint64_t ns) {
+    const double ms = static_cast<double>(ns) * kMs;
+    const double pct = wall_ms > 0.0 ? 100.0 * ms / wall_ms : 0.0;
+    table.add_row({name, util::Table::cell(ms, 2), util::Table::cell(pct, 1)});
+  };
+  row("contact scan", timing.scan_ns);
+  row("routing", timing.routing_ns);
+  row("transfer", timing.transfer_ns);
+  row("workload", timing.workload_ns);
+  table.add_row({"wall", util::Table::cell(wall_ms, 2), util::Table::cell(100.0, 1)});
+  table.print(os);
+  os << "scans: " << timing.scans;
+  if (timing.scans > 0) {
+    os << "  (" << util::Table::cell(
+                       static_cast<double>(timing.scan_ns) / static_cast<double>(timing.scans) *
+                           1e-3,
+                       2)
+       << " us/scan)";
+  }
+  os << "\n";
+}
+
 util::Table comparison_table(const std::vector<RunResult>& results) {
   util::Table table({"scheme", "seed", "MDR", "traffic", "latency s", "hops",
                      "tokens paid", "aborted"});

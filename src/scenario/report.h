@@ -20,6 +20,11 @@ namespace dtnic::scenario {
 /// Full single-run report as an aligned table.
 void write_run_report(std::ostream& os, const RunResult& result);
 
+/// Per-phase wall-clock breakdown of one run (ScopedTimer accounting).
+/// Phases are exclusive, so rows sum to at most the wall row; the remainder
+/// is event-loop and mobility overhead outside the instrumented phases.
+void write_timing_report(std::ostream& os, const PhaseTimings& timing);
+
 /// One row per result, for side-by-side scheme or sweep comparisons.
 [[nodiscard]] util::Table comparison_table(const std::vector<RunResult>& results);
 

@@ -11,6 +11,20 @@
 
 namespace dtnic::scenario {
 
+/// Wall-clock cost of one run, split by phase (util::ScopedTimer accounting:
+/// phases are exclusive, so they partition the run without double-counting
+/// nested callbacks). Observability only — never fed back into the
+/// simulation and excluded from figure outputs, so paper-figure results stay
+/// bit-identical across runs.
+struct PhaseTimings {
+  std::uint64_t scan_ns = 0;      ///< connectivity scans (contact detection)
+  std::uint64_t routing_ns = 0;   ///< link up/down handlers + pump ticks
+  std::uint64_t transfer_ns = 0;  ///< transfer completion/abort handling
+  std::uint64_t workload_ns = 0;  ///< message creation
+  std::uint64_t wall_ns = 0;      ///< whole run() wall clock
+  std::uint64_t scans = 0;        ///< connectivity scan ticks executed
+};
+
 struct RunResult {
   std::string scheme;
   std::uint64_t seed = 0;
@@ -53,6 +67,9 @@ struct RunResult {
 
   // Energy.
   double total_energy_j = 0.0;
+
+  // Per-phase wall-clock cost of this run (not a simulation output).
+  PhaseTimings timing;
 
   // Fig. 5.4: average rating of malicious nodes at non-malicious nodes.
   stats::TimeSeries malicious_rating;

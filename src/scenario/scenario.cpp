@@ -1,6 +1,7 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/enrichment.h"
 #include "mobility/hotspot.h"
@@ -18,6 +19,7 @@
 #include "util/assert.h"
 #include "util/logging.h"
 #include "util/summary.h"
+#include "util/timing.h"
 
 namespace dtnic::scenario {
 
@@ -131,6 +133,7 @@ void Scenario::build() {
     auto owned = std::make_unique<net::ConnectivityManager>(
         sim_, cfg_.radio, SimTime::seconds(cfg_.scan_interval_s));
     manager = owned.get();
+    connectivity_ = manager;
     contacts_ = std::move(owned);
   } else {
     auto scripted = std::make_unique<net::ScriptedConnectivity>(
@@ -307,6 +310,7 @@ std::vector<Host*> Scenario::neighbor_hosts(NodeId id) {
 }
 
 void Scenario::handle_link_up(NodeId a, NodeId b, double distance_m) {
+  const util::ScopedTimer timer(routing_ns_);
   const SimTime now = sim_.now();
   trace_.record_up(a, b, now);
   transfers_->link_up(a, b);
@@ -331,6 +335,7 @@ void Scenario::handle_link_up(NodeId a, NodeId b, double distance_m) {
 }
 
 void Scenario::handle_link_down(NodeId a, NodeId b) {
+  const util::ScopedTimer timer(routing_ns_);
   const SimTime now = sim_.now();
   refused_this_contact_.erase(pair_key(a, b));
   idle_memo_.erase(pair_key(a, b));
@@ -389,11 +394,13 @@ void Scenario::pump(NodeId a, NodeId b) {
 }
 
 void Scenario::pump_all_idle() {
+  const util::ScopedTimer timer(routing_ns_);
   for (const auto& [a, b] : contacts_->connected_pairs()) pump(a, b);
 }
 
 void Scenario::handle_transfer_complete(const net::TransferManager::Transfer& t,
                                         SimTime duration) {
+  const util::ScopedTimer timer(transfer_ns_);
   const std::uint64_t key = pair_key(t.from, t.to);
   auto it = pending_.find(key);
   DTNIC_ASSERT(it != pending_.end());
@@ -419,6 +426,7 @@ void Scenario::handle_transfer_complete(const net::TransferManager::Transfer& t,
 }
 
 void Scenario::handle_transfer_abort(const net::TransferManager::Transfer& t) {
+  const util::ScopedTimer timer(transfer_ns_);
   pending_.erase(pair_key(t.from, t.to));
   metrics_.on_aborted(t.from, t.to, t.message);
   Host& sender = host(t.from);
@@ -437,6 +445,7 @@ void Scenario::schedule_next_message(std::size_t index) {
 }
 
 void Scenario::create_message(std::size_t index) {
+  const util::ScopedTimer timer(workload_ns_);
   Host& source = *hosts_[index];
   util::Rng& rng = workload_rng_[index];
   const SimTime now = sim_.now();
@@ -563,6 +572,7 @@ void Scenario::sample_series() {
 }
 
 RunResult Scenario::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   contacts_->start();
   for (std::size_t i = 0; i < hosts_.size(); ++i) schedule_next_message(i);
   sim_.schedule_every(SimTime::seconds(cfg_.scan_interval_s), [this] { pump_all_idle(); });
@@ -634,6 +644,18 @@ RunResult Scenario::run() {
   double energy = 0.0;
   for (const auto& h : hosts_) energy += h->battery().consumed_j();
   result.total_energy_j = energy;
+
+  result.timing.routing_ns = routing_ns_;
+  result.timing.transfer_ns = transfer_ns_;
+  result.timing.workload_ns = workload_ns_;
+  if (connectivity_ != nullptr) {
+    result.timing.scan_ns = connectivity_->scan_ns();
+    result.timing.scans = connectivity_->scans();
+  }
+  result.timing.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall_start)
+          .count());
 
   result.malicious_rating = malicious_rating_series_;
   result.mean_tokens = mean_tokens_series_;

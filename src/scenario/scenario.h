@@ -105,8 +105,15 @@ class Scenario {
   std::vector<int> source_class_;
 
   std::unique_ptr<net::ContactSource> contacts_;
+  /// Non-owning view of contacts_ when mobility-driven (timing readout).
+  net::ConnectivityManager* connectivity_ = nullptr;
   std::unique_ptr<net::TransferManager> transfers_;
   net::ContactTrace trace_;
+
+  /// Per-phase wall-clock accumulators (util::ScopedTimer; exclusive).
+  std::uint64_t routing_ns_ = 0;
+  std::uint64_t transfer_ns_ = 0;
+  std::uint64_t workload_ns_ = 0;
 
   struct PendingTransfer {
     routing::ForwardPlan plan;

@@ -17,7 +17,31 @@ void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
   if (callbacks_.erase(id.value) > 0) {
     cancelled_.insert(id.value);
+    maybe_shrink();
   }
+}
+
+void EventQueue::maybe_shrink() {
+  if (callbacks_.empty()) {
+    // The queue is logically empty: every remaining heap entry is a
+    // cancelled straggler that would otherwise linger indefinitely.
+    heap_ = {};
+    cancelled_.clear();
+    return;
+  }
+  // Cancel-heavy workloads: once dead entries outnumber live ones, rebuild
+  // the heap with only the live entries in one O(n log n) pass, bounding
+  // memory by the live event count instead of the cancellation history.
+  constexpr std::size_t kCompactionMin = 64;
+  if (cancelled_.size() < kCompactionMin || cancelled_.size() <= callbacks_.size()) return;
+  std::vector<Entry> live;
+  live.reserve(callbacks_.size());
+  while (!heap_.empty()) {
+    if (cancelled_.count(heap_.top().seq) == 0) live.push_back(heap_.top());
+    heap_.pop();
+  }
+  heap_ = std::priority_queue<Entry, std::vector<Entry>, Later>(Later{}, std::move(live));
+  cancelled_.clear();
 }
 
 void EventQueue::drop_cancelled() {
@@ -48,6 +72,7 @@ EventQueue::Popped EventQueue::pop() {
   DTNIC_ASSERT(it != callbacks_.end());
   Popped out{top.time, std::move(it->second)};
   callbacks_.erase(it);
+  maybe_shrink();
   return out;
 }
 

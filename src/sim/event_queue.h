@@ -47,6 +47,12 @@ class EventQueue {
   };
   [[nodiscard]] Popped pop();
 
+  /// Bookkeeping introspection (tests / diagnostics): raw heap entries
+  /// including cancelled ones not yet dropped, and pending cancel markers.
+  /// Both drain to zero when the queue empties.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+  [[nodiscard]] std::size_t cancelled_entries() const { return cancelled_.size(); }
+
  private:
   struct Entry {
     util::SimTime time;
@@ -63,6 +69,11 @@ class EventQueue {
   };
 
   void drop_cancelled();
+  /// Release cancel bookkeeping: when the queue drains, every remaining heap
+  /// entry is a cancelled straggler and is dropped wholesale; under
+  /// cancel-heavy load the heap is compacted once dead entries outnumber
+  /// live ones, instead of waiting for each to surface at the top.
+  void maybe_shrink();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_map<std::uint64_t, EventFn> callbacks_;  // keyed by seq

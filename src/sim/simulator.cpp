@@ -23,13 +23,19 @@ EventId Simulator::schedule_every_from(util::SimTime first, util::SimTime period
   DTNIC_REQUIRE_MSG(period > util::SimTime::zero(), "period must be positive");
   auto alive = std::make_shared<bool>(true);
   // The tick closure owns the alive flag and re-schedules itself; cancelling
-  // flips the flag so the next firing is a no-op and the chain ends.
+  // flips the flag so the next firing is a no-op and the chain ends. The
+  // closure holds itself only weakly — the strong reference lives in the
+  // queued event — so an abandoned chain is reclaimed instead of leaking
+  // through a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, alive, period, tick, fn = std::move(fn)]() {
+  *tick = [this, alive, period, weak = std::weak_ptr<std::function<void()>>(tick),
+           fn = std::move(fn)]() {
     if (!*alive) return;
     fn();
     if (!*alive) return;
-    queue_.push(now_ + period, [tick] { (*tick)(); });
+    if (auto self = weak.lock()) {
+      queue_.push(now_ + period, [self] { (*self)(); });
+    }
   };
   const EventId first_id = queue_.push(first, [tick] { (*tick)(); });
   periodic_controls_[first_id.value] = alive;

@@ -1,0 +1,22 @@
+#include "util/timing.h"
+
+#include <algorithm>
+
+namespace dtnic::util {
+
+thread_local ScopedTimer* ScopedTimer::current_ = nullptr;
+
+ScopedTimer::ScopedTimer(std::uint64_t& accumulator_ns) noexcept
+    : acc_(accumulator_ns), parent_(current_), start_(Clock::now()) {
+  current_ = this;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  acc_ += ns - std::min(ns, excluded_ns_);
+  if (parent_ != nullptr) parent_->excluded_ns_ += ns;
+  current_ = parent_;
+}
+
+}  // namespace dtnic::util

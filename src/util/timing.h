@@ -1,0 +1,35 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file timing.h
+/// Lightweight wall-clock phase accounting for the simulation hot paths.
+/// A ScopedTimer adds the nanoseconds its scope took to a caller-owned
+/// counter. Timers nest *exclusively*: while an inner timer is live its
+/// elapsed time is subtracted from the enclosing timer's contribution, so a
+/// set of phase counters partitions the run instead of double-counting
+/// nested phases (e.g. routing callbacks fired from inside a contact scan).
+
+namespace dtnic::util {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t& accumulator_ns) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t& acc_;
+  ScopedTimer* parent_;           ///< enclosing timer on this thread, if any
+  std::uint64_t excluded_ns_ = 0; ///< time claimed by nested timers
+  Clock::time_point start_;
+
+  static thread_local ScopedTimer* current_;
+};
+
+}  // namespace dtnic::util

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "mobility/stationary.h"
@@ -180,6 +181,67 @@ TEST_F(ConnectivityFixture, PositionOfTracksMobility) {
   const NodeId a = add(std::make_unique<Stationary>(Vec2{12, 34}));
   EXPECT_EQ(manager.position_of(a), (Vec2{12, 34}));
   EXPECT_THROW((void)manager.position_of(NodeId(99)), std::invalid_argument);
+}
+
+TEST_F(ConnectivityFixture, LinkUpEventsSortedWithinScan) {
+  // A crowd that all comes into range at once: one scan must report the
+  // new links in ascending (a, b) order regardless of insertion order.
+  for (int i = 5; i >= 0; --i) {  // reverse insertion order on purpose
+    models.push_back(std::make_unique<Stationary>(Vec2{10.0 * i, 0}));
+    manager.add_node(NodeId(i), models.back().get());
+  }
+  manager.scan();
+  ASSERT_EQ(events.size(), 15u);  // 6 nodes within 50 m: all pairs connect
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(events[i].up);
+    EXPECT_LT(events[i].a, events[i].b);
+    if (i == 0) continue;
+    const bool ordered =
+        events[i - 1].a < events[i].a ||
+        (events[i - 1].a == events[i].a && events[i - 1].b < events[i].b);
+    EXPECT_TRUE(ordered) << "link-up " << i << " out of order";
+  }
+}
+
+TEST_F(ConnectivityFixture, LinkDownEventsSortedWithinScan) {
+  // Three satellites around a hub all leave range between t=0 and t=10; the
+  // teardown events of one scan must also arrive in ascending (a, b) order.
+  (void)add(std::make_unique<Stationary>(Vec2{0, 0}));
+  for (int i = 3; i >= 1; --i) {  // reverse insertion order on purpose
+    models.push_back(std::make_unique<WaypointTrace>(std::vector<WaypointTrace::Keyframe>{
+        {SimTime::seconds(0), {20.0 * i, 0}}, {SimTime::seconds(1), {1000.0 * i, 0}}}));
+    manager.add_node(NodeId(i), models.back().get());
+  }
+  manager.start();
+  sim.run_until(SimTime::seconds(3));
+  std::vector<LinkEvent> downs;
+  for (const auto& e : events) {
+    if (!e.up) downs.push_back(e);
+  }
+  ASSERT_EQ(downs.size(), 6u);  // hub-satellite x3 + satellite pairs x3
+  EXPECT_TRUE(std::all_of(downs.begin(), downs.end(),
+                          [&](const LinkEvent& e) { return e.time_s == downs[0].time_s; }));
+  for (std::size_t i = 1; i < downs.size(); ++i) {
+    const bool ordered = downs[i - 1].a < downs[i].a ||
+                         (downs[i - 1].a == downs[i].a && downs[i - 1].b < downs[i].b);
+    EXPECT_TRUE(ordered) << "link-down " << i << " out of order";
+  }
+}
+
+TEST_F(ConnectivityFixture, PositionCacheConsistentWithinTick) {
+  // position_of must serve the whole tick from the scan's cache: two queries
+  // in the same tick agree, and the cache refreshes after time advances.
+  (void)add(std::make_unique<WaypointTrace>(std::vector<WaypointTrace::Keyframe>{
+      {SimTime::seconds(0), {0, 0}}, {SimTime::seconds(100), {1000, 0}}}));
+  manager.start();
+  sim.run_until(SimTime::seconds(10));
+  const Vec2 first = manager.position_of(NodeId(0));
+  const Vec2 second = manager.position_of(NodeId(0));
+  EXPECT_EQ(first.x, second.x);
+  EXPECT_EQ(first.y, second.y);
+  EXPECT_NEAR(first.x, 100.0, 1e-6);  // 10 m/s for 10 s
+  sim.run_until(SimTime::seconds(20));
+  EXPECT_NEAR(manager.position_of(NodeId(0)).x, 200.0, 1e-6);
 }
 
 // --- TransferManager -------------------------------------------------------------

@@ -94,6 +94,150 @@ TEST_P(GridVsBruteForce, MatchesExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GridVsBruteForce,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+/// Property: a persistent grid advanced with incremental updates stays
+/// exactly equivalent to a grid rebuilt from scratch, across long random
+/// motion with occasional teleports (which force cell churn, pruning, and
+/// free-list recycling). Also pins the bounded-growth invariant: pruning
+/// keeps the occupied cell count at or below the live population no matter
+/// how far the nodes roam.
+TEST(SpatialGrid, IncrementalMatchesRebuildUnderRandomMotion) {
+  util::Rng rng(42);
+  const double radius = 100.0;
+  const int n = 60;
+  const double side = 800.0;
+  std::vector<Vec2> pos(n);
+  SpatialGrid incremental(radius);
+  std::vector<std::size_t> slots(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    slots[i] = incremental.insert(NodeId(i), pos[i]);
+  }
+  std::vector<SpatialGrid::Pair> got;
+  for (int step = 0; step < 1000; ++step) {
+    for (int i = 0; i < n; ++i) {
+      if (rng.uniform(0.0, 1.0) < 0.02) {
+        // Teleport: long jumps exercise cell pruning and re-creation.
+        pos[i] = {rng.uniform(-side, 2.0 * side), rng.uniform(-side, 2.0 * side)};
+      } else {
+        pos[i].x += rng.uniform(-15.0, 15.0);
+        pos[i].y += rng.uniform(-15.0, 15.0);
+      }
+      incremental.update_slot(slots[i], pos[i]);
+    }
+    ASSERT_LE(incremental.cell_count(), incremental.size());
+    if (step % 10 != 0) continue;  // full cross-check every 10th step
+    SpatialGrid rebuilt(radius);
+    for (int i = 0; i < n; ++i) rebuilt.insert(NodeId(i), pos[i]);
+    const auto want = rebuilt.pairs_within(radius);
+    incremental.pairs_within(radius, got);
+    ASSERT_EQ(got.size(), want.size()) << "step " << step;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      ASSERT_EQ(got[k].a, want[k].a) << "step " << step;
+      ASSERT_EQ(got[k].b, want[k].b) << "step " << step;
+      ASSERT_DOUBLE_EQ(got[k].distance_m, want[k].distance_m) << "step " << step;
+    }
+  }
+}
+
+/// Regression: pairs_within emits in sorted (a, b) order — the property the
+/// connectivity diff relies on for deterministic link-event ordering.
+TEST(SpatialGrid, PairsEmittedInSortedOrder) {
+  util::Rng rng(7);
+  SpatialGrid grid(100.0);
+  for (int i = 0; i < 150; ++i) {
+    // Insert ids in reverse so sortedness cannot fall out of insert order.
+    grid.insert(NodeId(149 - i), {rng.uniform(0.0, 1200.0), rng.uniform(0.0, 1200.0)});
+  }
+  const auto pairs = grid.pairs_within(100.0);
+  ASSERT_FALSE(pairs.empty());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    if (i == 0) continue;
+    const bool ordered = pairs[i - 1].a < pairs[i].a ||
+                         (pairs[i - 1].a == pairs[i].a && pairs[i - 1].b < pairs[i].b);
+    EXPECT_TRUE(ordered) << "pair " << i << " out of order";
+  }
+}
+
+/// Regression for the cell-key packing: the old (cx << 24) ^ cy scheme
+/// aliased distant cells once coordinates went negative or large; the packed
+/// 64-bit key must keep far-apart nodes apart.
+TEST(SpatialGrid, NegativeAndDistantCoordinatesDoNotAlias) {
+  SpatialGrid grid(100.0);
+  // Under the old packing, (cx, cy) and (cx ^ k, cy ^ (k << 24)) could
+  // collide; place nodes in wildly different quadrants and verify isolation.
+  grid.insert(NodeId(0), {-5.0, -5.0});
+  grid.insert(NodeId(1), {-1.0e6, 1.0e6});
+  grid.insert(NodeId(2), {1.0e6, -1.0e6});
+  grid.insert(NodeId(3), {1.6777216e9, 0.0});  // cx = 2^24 exactly
+  EXPECT_TRUE(grid.pairs_within(100.0).empty());
+  EXPECT_EQ(grid.cell_count(), 4u);
+  // And a genuinely adjacent pair across the origin still pairs up.
+  grid.insert(NodeId(4), {-1.0, -1.0});
+  const auto pairs = grid.pairs_within(100.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, NodeId(0));
+  EXPECT_EQ(pairs[0].b, NodeId(4));
+}
+
+/// Crowding one cell past the inline entry capacity must spill to the
+/// overflow path and keep every pair visible through updates.
+TEST(SpatialGrid, OverflowBeyondInlineCapacity) {
+  SpatialGrid grid(100.0);
+  const int n = 12;  // one cell, well past the inline capacity
+  std::vector<std::size_t> slots(n);
+  for (int i = 0; i < n; ++i) {
+    slots[i] = grid.insert(NodeId(i), {10.0 + i, 10.0});
+  }
+  EXPECT_EQ(grid.cell_count(), 1u);
+  EXPECT_EQ(grid.pairs_within(100.0).size(), static_cast<std::size_t>(n * (n - 1) / 2));
+  // Drain the cell one node at a time (reverse order exercises swap-removal
+  // of both inline and overflow entries) and re-verify the pair count.
+  for (int out = n - 1; out >= 1; --out) {
+    grid.update_slot(slots[out], {10.0 + out, 5000.0 + 200.0 * out});
+    EXPECT_EQ(grid.pairs_within(100.0).size(), static_cast<std::size_t>(out * (out - 1) / 2));
+  }
+}
+
+/// The caller-owned scratch overload must clear stale content and match the
+/// by-value overload when the buffer is reused across scans.
+TEST(SpatialGrid, ScratchBufferReuseMatchesFresh) {
+  util::Rng rng(11);
+  SpatialGrid grid(100.0);
+  std::vector<std::size_t> slots;
+  for (int i = 0; i < 80; ++i) {
+    slots.push_back(grid.insert(NodeId(i), {rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)}));
+  }
+  std::vector<SpatialGrid::Pair> scratch;
+  for (int step = 0; step < 5; ++step) {
+    for (std::size_t s : slots) {
+      grid.update_slot(s, {rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+    }
+    grid.pairs_within(100.0, scratch);
+    const auto fresh = grid.pairs_within(100.0);
+    ASSERT_EQ(scratch.size(), fresh.size());
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      EXPECT_EQ(scratch[k].a, fresh[k].a);
+      EXPECT_EQ(scratch[k].b, fresh[k].b);
+    }
+  }
+}
+
+/// A same-cell move must still refresh the coordinates used for distance
+/// checks (regression for the dense position array staying in sync).
+TEST(SpatialGrid, SameCellMoveUpdatesDistance) {
+  SpatialGrid grid(100.0);
+  grid.insert(NodeId(0), {10.0, 50.0});
+  const std::size_t slot = grid.insert(NodeId(1), {95.0, 50.0});
+  ASSERT_EQ(grid.pairs_within(100.0).size(), 1u);
+  EXPECT_NEAR(grid.pairs_within(100.0)[0].distance_m, 85.0, 1e-9);
+  grid.update_slot(slot, {30.0, 50.0});  // same cell, closer
+  const auto pairs = grid.pairs_within(100.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NEAR(pairs[0].distance_m, 20.0, 1e-9);
+  EXPECT_EQ(grid.cell_count(), 1u);
+}
+
 // --- Friis model ------------------------------------------------------------------
 
 TEST(Friis, PathLossFormula) {

@@ -82,6 +82,50 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, BookkeepingReleasedWhenQueueDrains) {
+  // Cancelled stragglers must not linger once the queue is logically empty:
+  // draining (by pop or by cancel) clears the heap and the cancel markers.
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.push(SimTime::seconds(i + 1), [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) (void)q.pop();
+  EXPECT_EQ(q.heap_entries(), 0u);
+  EXPECT_EQ(q.cancelled_entries(), 0u);
+
+  // Cancel-only drain (no pops) must release everything too.
+  std::vector<EventId> batch;
+  for (int i = 0; i < 50; ++i) batch.push_back(q.push(SimTime::seconds(i + 1), [] {}));
+  for (const EventId id : batch) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heap_entries(), 0u);
+  EXPECT_EQ(q.cancelled_entries(), 0u);
+}
+
+TEST(EventQueue, CancelHeavyLoadCompactsHeap) {
+  // Cancelling far more events than remain live must bound the raw heap at
+  // the live count instead of retaining every dead entry until it surfaces.
+  EventQueue q;
+  std::vector<EventId> ids;
+  const int n = 1024;
+  for (int i = 0; i < n; ++i) ids.push_back(q.push(SimTime::seconds(i + 1), [] {}));
+  for (int i = 0; i < n; ++i) {
+    if (i % 16 != 0) q.cancel(ids[static_cast<std::size_t>(i)]);  // keep 64 live
+  }
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_LE(q.heap_entries(), q.size() + 64);  // compaction kicked in
+  // The survivors still fire in time order.
+  double last = 0.0;
+  while (!q.empty()) {
+    const auto popped = q.pop();
+    EXPECT_GT(popped.time.sec(), last);
+    last = popped.time.sec();
+  }
+}
+
 // --- Simulator ---------------------------------------------------------------
 
 TEST(Simulator, ClockAdvancesWithEvents) {
