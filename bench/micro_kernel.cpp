@@ -14,11 +14,14 @@
 #include <vector>
 
 #include "core/incentive.h"
+#include "core/incentive_router.h"
 #include "core/reputation.h"
 #include "mobility/random_waypoint.h"
 #include "msg/buffer.h"
 #include "net/spatial_grid.h"
 #include "routing/chitchat/interest_table.h"
+#include "routing/host.h"
+#include "routing/oracle.h"
 #include "scenario/scenario.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -244,6 +247,119 @@ void BM_MessageBufferChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageBufferChurn)->Arg(0)->Arg(1);
 
+/// Exchange-pipeline world: a ring of incentive hosts with populated buffers
+/// and seeded interest tables. One "contact" is the contact controller's
+/// routing work for a link — pre_exchange (decay against neighbors), the
+/// link-up weight/reputation exchange, and plan_into in both directions —
+/// without the transfer layer, so the measured cost is exactly the routing
+/// hot path the strength cache and scratch reuse optimize.
+struct ExchangeWorld {
+  ExchangeWorld(int nodes, int msgs_per_node, int keywords, std::uint64_t seed = 11) {
+    util::Rng rng(seed);
+    pool.reserve(static_cast<std::size_t>(keywords));
+    for (int k = 0; k < keywords; ++k) {
+      pool.push_back(msg::KeywordId(static_cast<util::KeywordId::underlying>(k)));
+    }
+    world.keyword_pool = &pool;
+    world.neighbors = [this](routing::NodeId id, std::vector<routing::Host*>& out) {
+      out.clear();
+      const std::size_t n = hosts.size();
+      const std::size_t i = id.value();
+      out.push_back(hosts[(i + 1) % n].get());
+      out.push_back(hosts[(i + n - 1) % n].get());
+    };
+
+    routing::chitchat::ChitChatParams chitchat;
+    constexpr std::uint64_t kMB = 1024 * 1024;
+    const auto t0 = util::SimTime::zero();
+    util::MessageId::underlying next_id = 0;
+    for (int i = 0; i < nodes; ++i) {
+      const routing::NodeId id(static_cast<util::NodeId::underlying>(i));
+      auto host = std::make_unique<routing::Host>(id, 256 * kMB);
+      std::vector<msg::KeywordId> interests;
+      for (int j = 0; j < 3; ++j) interests.push_back(pool[rng.below(pool.size())]);
+      oracle.set_interests(id, interests);
+      auto router = std::make_unique<core::IncentiveRouter>(
+          oracle, chitchat, util::SimTime::seconds(5.0), &world, core::BehaviorProfile{},
+          rng.fork(static_cast<std::uint64_t>(i)));
+      router->set_direct_interests(interests, t0);
+      host->set_router(std::move(router));
+      for (int m = 0; m < msgs_per_node; ++m) {
+        msg::Message msg(util::MessageId(next_id++), id, t0, kMB / 4 + rng.below(kMB / 4),
+                         static_cast<msg::Priority>(rng.range(1, 3)), rng.uniform(0.0, 1.0));
+        for (int a = 0; a < 3; ++a) {
+          (void)msg.annotate(msg::Annotation{pool[rng.below(pool.size())], id, true});
+        }
+        (void)host->buffer().add(std::move(msg));
+      }
+      hosts.push_back(std::move(host));
+    }
+  }
+
+  /// Run the routing work of one contact between hosts \p ai and \p bi at
+  /// \p now_s; returns the number of forward plans produced (both ways).
+  std::size_t contact(std::size_t ai, std::size_t bi, double now_s,
+                      std::vector<routing::ForwardPlan>& plans) {
+    routing::Host& a = *hosts[ai];
+    routing::Host& b = *hosts[bi];
+    const auto now = util::SimTime::seconds(now_s);
+    a.router().pre_exchange(a, now, {});
+    b.router().pre_exchange(b, now, {});
+    a.router().on_link_up(a, b, now, 50.0);
+    b.router().on_link_up(b, a, now, 50.0);
+    std::size_t produced = 0;
+    a.router().plan_into(a, b, now, plans);
+    produced += plans.size();
+    b.router().plan_into(b, a, now, plans);
+    produced += plans.size();
+    a.router().on_link_down(a, b, now);
+    b.router().on_link_down(b, a, now);
+    return produced;
+  }
+
+  routing::StaticInterestOracle oracle;
+  core::IncentiveWorld world;
+  std::vector<msg::KeywordId> pool;
+  std::vector<std::unique_ptr<routing::Host>> hosts;
+};
+
+void BM_RoutingExchangePlan(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  ExchangeWorld world(nodes, /*msgs_per_node=*/32, /*keywords=*/64);
+  std::vector<routing::ForwardPlan> plans;
+  double t = 0.0;
+  std::size_t pair = 0;
+  for (auto _ : state) {
+    t += 5.0;
+    const std::size_t a = pair % world.hosts.size();
+    const std::size_t b = (pair + 1) % world.hosts.size();
+    ++pair;
+    benchmark::DoNotOptimize(world.contact(a, b, t, plans));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingExchangePlan)->Arg(16)->Arg(64);
+
+/// Repeated interest-strength queries over a stable table: the memoized
+/// ChitChatRouter::message_strength against a from-scratch sum_weights per
+/// query (the shape PRoPHET/NECTAR/promise computation used to pay).
+void BM_MessageStrengthQuery(benchmark::State& state) {
+  const bool memoized = state.range(0) != 0;
+  ExchangeWorld world(/*nodes=*/2, /*msgs_per_node=*/64, /*keywords=*/64);
+  routing::Host& host = *world.hosts[0];
+  auto* router = routing::ChitChatRouter::of(host);
+  double sum = 0.0;
+  for (auto _ : state) {
+    host.buffer().for_each([&](const msg::Message& m) {
+      sum += memoized ? router->message_strength(m)
+                      : router->interests().sum_weights(m.keywords());
+    });
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MessageStrengthQuery)->Arg(0)->Arg(1);
+
 void BM_ScenarioMinute(benchmark::State& state) {
   // End-to-end cost of one simulated minute of a 40-node incentive world
   // (builds once; repeatedly extends the horizon).
@@ -347,6 +463,99 @@ void write_contact_scan_json() {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Hand-timed exchange-pipeline sample: ns per contact (or per strength
+/// query) and the plan count of the last contact.
+struct ExchangeSample {
+  double ns_per_op = 0.0;
+  std::size_t plans = 0;
+};
+
+ExchangeSample time_exchange_kernel(int nodes, int msgs_per_node, int iterations) {
+  ExchangeWorld world(nodes, msgs_per_node, /*keywords=*/64);
+  std::vector<routing::ForwardPlan> plans;
+  double t = 0.0;
+  std::size_t pair = 0;
+  std::size_t last = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    t += 5.0;
+    const std::size_t a = pair % world.hosts.size();
+    const std::size_t b = (pair + 1) % world.hosts.size();
+    ++pair;
+    last = world.contact(a, b, t, plans);
+    benchmark::DoNotOptimize(last);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ExchangeSample sample;
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(iterations);
+  sample.plans = last;
+  return sample;
+}
+
+ExchangeSample time_strength_kernel(bool memoized, int messages, int iterations) {
+  ExchangeWorld world(/*nodes=*/2, messages, /*keywords=*/64);
+  routing::Host& host = *world.hosts[0];
+  auto* router = routing::ChitChatRouter::of(host);
+  double sum = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    host.buffer().for_each([&](const msg::Message& m) {
+      sum += memoized ? router->message_strength(m)
+                      : router->interests().sum_weights(m.keywords());
+    });
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(sum);
+  ExchangeSample sample;
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      (static_cast<double>(iterations) * static_cast<double>(messages));
+  sample.plans = 0;
+  return sample;
+}
+
+/// Emit BENCH_routing_exchange.json: machine-readable summary of the
+/// per-contact exchange/plan pipeline and the strength-query kernels.
+/// Controlled by DTNIC_BENCH_JSON_EXCHANGE (output path; default alongside
+/// the binary) and DTNIC_BENCH_JSON_FAST (fewer iterations, smoke scale).
+void write_routing_exchange_json() {
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON_EXCHANGE");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_routing_exchange.json";
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_kernel: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"schema\": \"dtnic.routing_exchange_bench.v1\",\n  \"results\": [\n";
+  bool first = true;
+  auto row = [&](const char* kernel, int nodes, int messages, int iterations,
+                 const ExchangeSample& sample) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"kernel\": \"" << kernel << "\", \"nodes\": " << nodes
+       << ", \"messages\": " << messages << ", \"iterations\": " << iterations
+       << ", \"ns_per_op\": " << sample.ns_per_op << ", \"plans\": " << sample.plans << "}";
+  };
+  for (const int nodes : {16, 64}) {
+    const int iterations = fast ? 20 : 2000;
+    row("exchange_contact", nodes, 32, iterations,
+        time_exchange_kernel(nodes, 32, iterations));
+  }
+  for (const bool memoized : {false, true}) {
+    const int iterations = fast ? 50 : 20000;
+    row(memoized ? "strength_memoized" : "strength_recompute", 2, 64, iterations,
+        time_strength_kernel(memoized, 64, iterations));
+  }
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,5 +564,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_contact_scan_json();
+  write_routing_exchange_json();
   return 0;
 }

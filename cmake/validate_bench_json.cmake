@@ -1,19 +1,32 @@
-# Validates the machine-readable benchmark artifact written by micro_kernel
-# (BENCH_contact_scan.json). Run in script mode:
+# Validates a machine-readable benchmark artifact written by micro_kernel
+# (BENCH_contact_scan.json, BENCH_routing_exchange.json). Run in script mode:
 #
-#   cmake -DJSON_FILE=<path> -P cmake/validate_bench_json.cmake
+#   cmake -DJSON_FILE=<path> [-DEXPECTED_SCHEMA=<tag>] [-DREQUIRED_KEYS=a,b,c]
+#         [-DMETRIC_KEY=<key>] -P cmake/validate_bench_json.cmake
 #
+# Defaults target the contact-scan artifact for backward compatibility; the
+# exchange artifact passes its own schema tag, key list, and metric key.
 # Fails (FATAL_ERROR) unless the file parses, carries the expected schema
-# tag, and every result row has the required keys with sane values. Used by
-# the `bench_smoke_json_schema` ctest so CI catches a silently broken or
-# truncated artifact, not just a crashing benchmark.
+# tag, and every result row has the required keys with a positive metric.
+# Used by the `bench_smoke_*_schema` ctests so CI catches a silently broken
+# or truncated artifact, not just a crashing benchmark.
 
 if(NOT DEFINED JSON_FILE)
-  message(FATAL_ERROR "pass -DJSON_FILE=<path to BENCH_contact_scan.json>")
+  message(FATAL_ERROR "pass -DJSON_FILE=<path to benchmark artifact>")
 endif()
 if(NOT EXISTS "${JSON_FILE}")
   message(FATAL_ERROR "benchmark artifact not found: ${JSON_FILE}")
 endif()
+if(NOT DEFINED EXPECTED_SCHEMA)
+  set(EXPECTED_SCHEMA "dtnic.contact_scan_bench.v1")
+endif()
+if(NOT DEFINED REQUIRED_KEYS)
+  set(REQUIRED_KEYS "kernel,nodes,iterations,ns_per_scan,pairs")
+endif()
+if(NOT DEFINED METRIC_KEY)
+  set(METRIC_KEY "ns_per_scan")
+endif()
+string(REPLACE "," ";" _required_keys "${REQUIRED_KEYS}")
 
 file(READ "${JSON_FILE}" _doc)
 
@@ -21,8 +34,9 @@ string(JSON _schema ERROR_VARIABLE _err GET "${_doc}" schema)
 if(_err)
   message(FATAL_ERROR "missing 'schema' key in ${JSON_FILE}: ${_err}")
 endif()
-if(NOT _schema STREQUAL "dtnic.contact_scan_bench.v1")
-  message(FATAL_ERROR "unexpected schema tag '${_schema}' in ${JSON_FILE}")
+if(NOT _schema STREQUAL "${EXPECTED_SCHEMA}")
+  message(FATAL_ERROR
+    "unexpected schema tag '${_schema}' in ${JSON_FILE} (want '${EXPECTED_SCHEMA}')")
 endif()
 
 string(JSON _count ERROR_VARIABLE _err LENGTH "${_doc}" results)
@@ -35,15 +49,15 @@ endif()
 
 math(EXPR _last "${_count} - 1")
 foreach(_i RANGE ${_last})
-  foreach(_key kernel nodes iterations ns_per_scan pairs)
+  foreach(_key IN LISTS _required_keys)
     string(JSON _val ERROR_VARIABLE _err GET "${_doc}" results ${_i} ${_key})
     if(_err)
       message(FATAL_ERROR "results[${_i}] missing '${_key}': ${_err}")
     endif()
   endforeach()
-  string(JSON _ns GET "${_doc}" results ${_i} ns_per_scan)
-  if(_ns LESS_EQUAL 0)
-    message(FATAL_ERROR "results[${_i}].ns_per_scan must be positive, got ${_ns}")
+  string(JSON _metric GET "${_doc}" results ${_i} ${METRIC_KEY})
+  if(_metric LESS_EQUAL 0)
+    message(FATAL_ERROR "results[${_i}].${METRIC_KEY} must be positive, got ${_metric}")
   endif()
   string(JSON _nodes GET "${_doc}" results ${_i} nodes)
   if(_nodes LESS_EQUAL 0)
@@ -51,4 +65,4 @@ foreach(_i RANGE ${_last})
   endif()
 endforeach()
 
-message(STATUS "${JSON_FILE}: schema ok, ${_count} result rows")
+message(STATUS "${JSON_FILE}: schema '${_schema}' ok, ${_count} result rows")

@@ -15,7 +15,7 @@ IncentiveRouter::IncentiveRouter(const routing::DestinationOracle& oracle,
                                  const routing::chitchat::ChitChatParams& chitchat,
                                  util::SimTime contact_quantum, const IncentiveWorld* world,
                                  BehaviorProfile profile, util::Rng rng)
-    : ChitChatRouter(oracle, chitchat, contact_quantum),
+    : ChitChatRouter(oracle, chitchat, contact_quantum, routing::RouterKind::kIncentive),
       world_(world),
       profile_(profile),
       rng_(rng),
@@ -27,7 +27,9 @@ IncentiveRouter::IncentiveRouter(const routing::DestinationOracle& oracle,
 
 IncentiveRouter* IncentiveRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<IncentiveRouter*>(&host.router());
+  routing::Router& router = host.router();
+  if (router.kind() != routing::RouterKind::kIncentive) return nullptr;
+  return static_cast<IncentiveRouter*>(&router);
 }
 
 double IncentiveRouter::strength_at(Host& host, const msg::Message& m) {
@@ -43,10 +45,12 @@ void IncentiveRouter::on_link_up(Host& self, Host& peer, util::SimTime now, doub
   // — self-praise must not enter the merge.
   if (world_->drm.enabled) {
     if (IncentiveRouter* other = IncentiveRouter::of(peer); other != nullptr) {
-      for (const auto& [node, rating] : other->ratings_.snapshot()) {
-        if (node == self.id() || node == peer.id()) continue;
+      // Per-node independent merge, so the peer's records are visited in hash
+      // order directly instead of materializing a sorted snapshot per contact.
+      other->ratings_.for_each([&](routing::NodeId node, double rating) {
+        if (node == self.id() || node == peer.id()) return;
         ratings_.merge_remote(node, rating);
-      }
+      });
     }
   }
 }
@@ -56,19 +60,22 @@ void IncentiveRouter::on_link_down(Host& self, Host& peer, util::SimTime now) {
   contact_distance_.erase(peer.id());
 }
 
-IncentiveRouter::PromiseContext IncentiveRouter::make_promise_context(Host& self) const {
-  PromiseContext ctx;
-  if (world_->neighbors) ctx.neighbors = world_->neighbors(self.id());
+void IncentiveRouter::fill_promise_context(Host& self, PromiseContext& ctx) const {
+  ctx.neighbors.clear();
+  ctx.max_size_bytes = 1;
+  ctx.max_quality = 1e-9;
+  if (world_->neighbors) world_->neighbors(self.id(), ctx.neighbors);
   // S_m / Q_m: maxima over the sender's carried messages (Table 3.1).
-  for (const msg::Message* carried : self.buffer().messages()) {
-    ctx.max_size_bytes = std::max(ctx.max_size_bytes, carried->size_bytes());
-    ctx.max_quality = std::max(ctx.max_quality, carried->quality());
-  }
-  return ctx;
+  self.buffer().for_each([&ctx](const msg::Message& carried) {
+    ctx.max_size_bytes = std::max(ctx.max_size_bytes, carried.size_bytes());
+    ctx.max_quality = std::max(ctx.max_quality, carried.quality());
+  });
 }
 
 double IncentiveRouter::compute_promise(Host& self, Host& peer, const msg::Message& m) {
-  return promise_for(self, peer, m, make_promise_context(self));
+  PromiseContext ctx;
+  fill_promise_context(self, ctx);
+  return promise_for(self, peer, m, ctx);
 }
 
 double IncentiveRouter::promise_for(Host& self, Host& peer, const msg::Message& m,
@@ -100,39 +107,47 @@ double IncentiveRouter::promise_for(Host& self, Host& peer, const msg::Message& 
   return total_promise(world_->incentive, i_s, i_h);
 }
 
-std::vector<ForwardPlan> IncentiveRouter::plan(Host& self, Host& peer, util::SimTime now) {
-  std::vector<ForwardPlan> plans = ChitChatRouter::plan(self, peer, now);
+void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
+                                std::vector<ForwardPlan>& out) {
+  ChitChatRouter::plan_into(self, peer, now, out);
   const ChitChatRouter* peer_router = ChitChatRouter::of(peer);
-  const PromiseContext ctx = make_promise_context(self);
+  fill_promise_context(self, promise_ctx_);
 
-  for (ForwardPlan& p : plans) {
+  keyed_scratch_.clear();
+  keyed_scratch_.reserve(out.size());
+  for (ForwardPlan& p : out) {
     const msg::Message* m = self.buffer().find(p.message);
     DTNIC_ASSERT(m != nullptr);
-    p.promise = promise_for(self, peer, *m, ctx);
+    p.promise = promise_for(self, peer, *m, promise_ctx_);
     if (p.role == TransferRole::kRelay && peer_router != nullptr) {
       // Relay threshold (Table 5.1): a receiver with a very high mean tag
       // weight — near-certain deliverer — pre-pays a fraction of the promise.
-      const double mean_w = peer_router->interests().mean_weight(m->keywords());
+      // The mean is derived from the memoized strength sum; both iterate the
+      // same keyword list, so the quotient is bit-identical to mean_weight.
+      const auto& kws = m->keywords();
+      const double mean_w = kws.empty() ? 0.0
+                                        : peer_router->message_strength(*m) /
+                                              static_cast<double>(kws.size());
       if (mean_w > world_->incentive.relay_threshold) {
         p.prepay = world_->incentive.relay_prepay_fraction * p.promise;
       }
     }
+    keyed_scratch_.push_back(
+        KeyedPlan{p, msg::priority_level(m->priority()), m->quality()});
   }
 
   // Higher-priority, higher-quality messages go first (the behavior Fig. 5.6
-  // measures). Destinations outrank relay handoffs at equal priority.
-  std::stable_sort(plans.begin(), plans.end(), [&self](const ForwardPlan& a,
-                                                       const ForwardPlan& b) {
-    const msg::Message* ma = self.buffer().find(a.message);
-    const msg::Message* mb = self.buffer().find(b.message);
-    DTNIC_ASSERT(ma != nullptr && mb != nullptr);
-    const int pa = msg::priority_level(ma->priority());
-    const int pb = msg::priority_level(mb->priority());
-    if (pa != pb) return pa < pb;
-    if (a.role != b.role) return a.role == TransferRole::kDestination;
-    return ma->quality() > mb->quality();
-  });
-  return plans;
+  // measures). Destinations outrank relay handoffs at equal priority. Keys
+  // were resolved above, so the comparator never touches the buffer.
+  std::stable_sort(keyed_scratch_.begin(), keyed_scratch_.end(),
+                   [](const KeyedPlan& a, const KeyedPlan& b) {
+                     if (a.priority != b.priority) return a.priority < b.priority;
+                     if (a.plan.role != b.plan.role) {
+                       return a.plan.role == TransferRole::kDestination;
+                     }
+                     return a.quality > b.quality;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = keyed_scratch_[i].plan;
 }
 
 AcceptDecision IncentiveRouter::accept(Host& self, Host& from, const msg::Message& m,

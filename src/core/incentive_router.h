@@ -39,8 +39,9 @@ struct IncentiveWorld {
   /// Keyword universe; malicious enrichment samples from it.
   const std::vector<msg::KeywordId>* keyword_pool = nullptr;
   /// Current neighbors of a node (used for w_m in Algorithm 3); provided by
-  /// the scenario from the connectivity manager.
-  std::function<std::vector<routing::Host*>(routing::NodeId)> neighbors;
+  /// the scenario from the connectivity manager. Fill-style so the per-plan
+  /// query reuses a caller-owned scratch vector instead of allocating.
+  std::function<void(routing::NodeId, std::vector<routing::Host*>&)> neighbors;
   /// Host lookup by id (PI-style escrow clearing credits path relays).
   std::function<routing::Host*(routing::NodeId)> host_by_id;
   /// Master switch for content enrichment (ablation benches flip it).
@@ -65,9 +66,8 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   void on_link_up(routing::Host& self, routing::Host& peer, util::SimTime now,
                   double distance_m) override;
   void on_link_down(routing::Host& self, routing::Host& peer, util::SimTime now) override;
-  [[nodiscard]] std::vector<routing::ForwardPlan> plan(routing::Host& self,
-                                                       routing::Host& peer,
-                                                       util::SimTime now) override;
+  void plan_into(routing::Host& self, routing::Host& peer, util::SimTime now,
+                 std::vector<routing::ForwardPlan>& out) override;
   [[nodiscard]] routing::AcceptDecision accept(routing::Host& self, routing::Host& from,
                                                const msg::Message& m,
                                                const routing::ForwardPlan& offer,
@@ -89,9 +89,17 @@ class IncentiveRouter final : public routing::ChitChatRouter {
     std::uint64_t max_size_bytes = 1;
     double max_quality = 1e-9;
   };
-  [[nodiscard]] PromiseContext make_promise_context(routing::Host& self) const;
+  void fill_promise_context(routing::Host& self, PromiseContext& ctx) const;
   [[nodiscard]] double promise_for(routing::Host& self, routing::Host& peer,
                                    const msg::Message& m, const PromiseContext& ctx);
+
+  /// Plan entry with its sort keys resolved once; the stable_sort comparator
+  /// compares plain fields instead of doing two buffer hash lookups per call.
+  struct KeyedPlan {
+    routing::ForwardPlan plan;
+    int priority = 0;
+    double quality = 0.0;
+  };
 
   /// DRM judgement of a freshly received copy: rate the source and every
   /// enriching relay, record first-hand, and stamp path ratings on the copy.
@@ -107,6 +115,9 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   RatingStore ratings_;
   Enricher enricher_;
   std::unordered_map<routing::NodeId, double> contact_distance_;
+  /// plan_into scratch (reused across contacts; steady-state allocation-free).
+  PromiseContext promise_ctx_;
+  std::vector<KeyedPlan> keyed_scratch_;
 };
 
 }  // namespace dtnic::core

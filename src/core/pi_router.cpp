@@ -33,7 +33,7 @@ PiRouter::PiRouter(const routing::DestinationOracle& oracle,
                    const routing::chitchat::ChitChatParams& chitchat,
                    util::SimTime contact_quantum, const IncentiveWorld* world,
                    PiEscrowBank* bank, const PiParams& params)
-    : ChitChatRouter(oracle, chitchat, contact_quantum),
+    : ChitChatRouter(oracle, chitchat, contact_quantum, routing::RouterKind::kPiIncentive),
       world_(world),
       bank_(bank),
       params_(params),
@@ -46,7 +46,9 @@ PiRouter::PiRouter(const routing::DestinationOracle& oracle,
 
 PiRouter* PiRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<PiRouter*>(&host.router());
+  routing::Router& router = host.router();
+  if (router.kind() != routing::RouterKind::kPiIncentive) return nullptr;
+  return static_cast<PiRouter*>(&router);
 }
 
 void PiRouter::on_originated(Host& self, const msg::Message& m, util::SimTime now) {

@@ -58,6 +58,15 @@ class RatingStore {
   /// Snapshot for the link-up reputation exchange, sorted by node id.
   [[nodiscard]] std::vector<std::pair<NodeId, double>> snapshot() const;
 
+  /// Visit every known (node, current rating) pair without allocating.
+  /// Iteration order is the hash map's — use only for order-independent
+  /// operations (the link-up second-hand merge touches each node
+  /// independently, so it qualifies).
+  template <class Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const auto& [node, rec] : records_) visit(node, rec.value);
+  }
+
   [[nodiscard]] const DrmParams& params() const { return params_; }
 
  private:

@@ -70,6 +70,14 @@ class MessageBuffer {
   /// Messages in insertion order (oldest first). Stable while not mutated.
   [[nodiscard]] std::vector<const Message*> messages() const;
 
+  /// Visit every message in insertion order without materializing a pointer
+  /// vector; the hot-path (per-contact plan/promise) alternative to
+  /// messages(). The buffer must not be mutated during the visit.
+  template <class Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const Slot& slot : order_) visit(slot.message);
+  }
+
   /// Monotone counter bumped by every mutation (add/remove/expiry); lets the
   /// contact controller skip re-planning links whose endpoints are unchanged.
   [[nodiscard]] std::uint64_t revision() const { return revision_; }

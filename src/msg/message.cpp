@@ -1,10 +1,22 @@
 #include "msg/message.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/assert.h"
 
 namespace dtnic::msg {
+
+namespace {
+/// Process-wide annotation stamp source. Values never influence simulation
+/// output — they only witness "this copy's annotation set changed" — so the
+/// atomic does not perturb determinism across runs or thread counts.
+std::atomic<std::uint64_t> g_keyword_stamp{0};
+
+std::uint64_t next_keyword_stamp() {
+  return 1 + g_keyword_stamp.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 const char* priority_name(Priority p) {
   switch (p) {
@@ -15,43 +27,55 @@ const char* priority_name(Priority p) {
   return "?";
 }
 
+const Message::Core& Message::core() const {
+  if (core_) return *core_;
+  static const Core kDefault{};
+  return kDefault;
+}
+
+Message::Core& Message::mutable_core() {
+  if (!core_) {
+    core_ = std::make_shared<Core>();
+  } else if (core_.use_count() > 1) {
+    core_ = std::make_shared<Core>(*core_);  // copy-on-write
+  }
+  // The only live reference is ours; shedding const is safe.
+  return const_cast<Core&>(*core_);
+}
+
 Message::Message(MessageId id, NodeId source, SimTime created_at, std::uint64_t size_bytes,
-                 Priority priority, double quality)
-    : id_(id),
-      source_(source),
-      created_at_(created_at),
-      size_bytes_(size_bytes),
-      priority_(priority),
-      quality_(quality) {
+                 Priority priority, double quality) {
   DTNIC_REQUIRE_MSG(id.valid(), "message id must be valid");
   DTNIC_REQUIRE_MSG(source.valid(), "message source must be valid");
   DTNIC_REQUIRE_MSG(size_bytes > 0, "message size must be positive");
   DTNIC_REQUIRE_MSG(quality >= 0.0 && quality <= 1.0, "quality must be in [0,1]");
+  auto core = std::make_shared<Core>();
+  core->id = id;
+  core->source = source;
+  core->created_at = created_at;
+  core->size_bytes = size_bytes;
+  core->priority = priority;
+  core->quality = quality;
+  core_ = std::move(core);
   path_.push_back({source, created_at});
 }
 
 bool Message::expired(SimTime now) const {
   if (!ttl_.finite()) return false;
-  return now > created_at_ + ttl_;
+  return now > created_at() + ttl_;
 }
 
 bool Message::annotate(Annotation a) {
   DTNIC_REQUIRE(a.keyword.valid());
   if (has_keyword(a.keyword)) return false;
   annotations_.push_back(a);
+  keywords_.push_back(a.keyword);
+  keyword_stamp_ = next_keyword_stamp();
   return true;
 }
 
 bool Message::has_keyword(KeywordId k) const {
-  return std::any_of(annotations_.begin(), annotations_.end(),
-                     [k](const Annotation& a) { return a.keyword == k; });
-}
-
-std::vector<KeywordId> Message::keywords() const {
-  std::vector<KeywordId> out;
-  out.reserve(annotations_.size());
-  for (const Annotation& a : annotations_) out.push_back(a.keyword);
-  return out;
+  return std::find(keywords_.begin(), keywords_.end(), k) != keywords_.end();
 }
 
 std::vector<Annotation> Message::annotations_by(NodeId node) const {
@@ -62,8 +86,13 @@ std::vector<Annotation> Message::annotations_by(NodeId node) const {
   return out;
 }
 
+void Message::set_true_keywords(std::vector<KeywordId> truth) {
+  mutable_core().true_keywords = std::move(truth);
+}
+
 bool Message::keyword_is_truthful(KeywordId k) const {
-  return std::find(true_keywords_.begin(), true_keywords_.end(), k) != true_keywords_.end();
+  const std::vector<KeywordId>& truth = core().true_keywords;
+  return std::find(truth.begin(), truth.end(), k) != truth.end();
 }
 
 std::size_t Message::relay_hop_count() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -15,6 +16,13 @@
 /// provenance, the hop path, and en-route ratings. A MessageId plays the role
 /// of the paper's UUID: buffers reject duplicate ids, and copies of the same
 /// message on different nodes share the id.
+///
+/// Internally a Message splits into a shared immutable core (identity,
+/// payload metadata, ground truth — identical for every copy of the same
+/// message) held behind a shared_ptr, and cheap per-copy state (annotations,
+/// hop path, ratings, properties). Relaying or evicting a copy therefore
+/// never deep-copies the mime/format strings or the truth vector; the rare
+/// post-construction core setters copy-on-write.
 
 namespace dtnic::msg {
 
@@ -72,13 +80,13 @@ class Message {
   Message(MessageId id, NodeId source, SimTime created_at, std::uint64_t size_bytes,
           Priority priority, double quality);
 
-  [[nodiscard]] MessageId id() const { return id_; }
-  [[nodiscard]] NodeId source() const { return source_; }
-  [[nodiscard]] SimTime created_at() const { return created_at_; }
-  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
-  [[nodiscard]] Priority priority() const { return priority_; }
+  [[nodiscard]] MessageId id() const { return core().id; }
+  [[nodiscard]] NodeId source() const { return core().source; }
+  [[nodiscard]] SimTime created_at() const { return core().created_at; }
+  [[nodiscard]] std::uint64_t size_bytes() const { return core().size_bytes; }
+  [[nodiscard]] Priority priority() const { return core().priority; }
   /// Content quality in [0,1] (paper's Q, normalized by Q_m at use sites).
-  [[nodiscard]] double quality() const { return quality_; }
+  [[nodiscard]] double quality() const { return core().quality; }
 
   /// Time-to-live; infinite by default. A message has expired once
   /// now > created_at + ttl.
@@ -92,13 +100,22 @@ class Message {
   bool annotate(Annotation a);
   [[nodiscard]] const std::vector<Annotation>& annotations() const { return annotations_; }
   [[nodiscard]] bool has_keyword(KeywordId k) const;
-  /// All distinct keywords currently tagged on the message.
-  [[nodiscard]] std::vector<KeywordId> keywords() const;
+  /// All distinct keywords currently tagged on the message, in annotation
+  /// order. Maintained incrementally by annotate(); never materialized per
+  /// query, so strength computations can iterate it allocation-free.
+  [[nodiscard]] const std::vector<KeywordId>& keywords() const { return keywords_; }
+  /// Monotone stamp identifying this copy's annotation set: two copies with
+  /// equal id and equal stamp carry identical keyword lists. Bumped (from a
+  /// process-wide counter, so independently enriched copies never collide)
+  /// on every successful annotate(); strength caches key on (id, stamp).
+  [[nodiscard]] std::uint64_t keyword_stamp() const { return keyword_stamp_; }
   /// Tags added by a specific node (enrichment attribution).
   [[nodiscard]] std::vector<Annotation> annotations_by(NodeId node) const;
   /// Latent true content keywords (ground truth for the rating simulation).
-  void set_true_keywords(std::vector<KeywordId> truth) { true_keywords_ = std::move(truth); }
-  [[nodiscard]] const std::vector<KeywordId>& true_keywords() const { return true_keywords_; }
+  void set_true_keywords(std::vector<KeywordId> truth);
+  [[nodiscard]] const std::vector<KeywordId>& true_keywords() const {
+    return core().true_keywords;
+  }
   [[nodiscard]] bool keyword_is_truthful(KeywordId k) const;
 
   /// --- path & ratings ----------------------------------------------------
@@ -112,12 +129,12 @@ class Message {
   [[nodiscard]] const std::vector<PathRating>& path_ratings() const { return path_ratings_; }
 
   /// --- multimedia metadata (Fig. 3.2) -------------------------------------
-  void set_mime_type(std::string mime) { mime_type_ = std::move(mime); }
-  [[nodiscard]] const std::string& mime_type() const { return mime_type_; }
-  void set_format(std::string format) { format_ = std::move(format); }
-  [[nodiscard]] const std::string& format() const { return format_; }
-  void set_location(GeoTag location) { location_ = location; }
-  [[nodiscard]] const std::optional<GeoTag>& location() const { return location_; }
+  void set_mime_type(std::string mime) { mutable_core().mime_type = std::move(mime); }
+  [[nodiscard]] const std::string& mime_type() const { return core().mime_type; }
+  void set_format(std::string format) { mutable_core().format = std::move(format); }
+  [[nodiscard]] const std::string& format() const { return core().format; }
+  void set_location(GeoTag location) { mutable_core().location = location; }
+  [[nodiscard]] const std::optional<GeoTag>& location() const { return core().location; }
 
   /// --- properties --------------------------------------------------------
   /// Small per-copy key/value store for router metadata (ONE-simulator style
@@ -126,18 +143,29 @@ class Message {
   [[nodiscard]] double property_or(const std::string& key, double dflt) const;
 
  private:
-  MessageId id_;
-  NodeId source_;
-  SimTime created_at_;
+  /// Copy-invariant message state: every copy of a message shares one Core.
+  struct Core {
+    MessageId id;
+    NodeId source;
+    SimTime created_at;
+    std::uint64_t size_bytes = 0;
+    Priority priority = Priority::kMedium;
+    double quality = 1.0;
+    std::vector<KeywordId> true_keywords;
+    std::string mime_type = "image/jpeg";  ///< Fig. 3.2 default payload kind
+    std::string format = "jpeg";
+    std::optional<GeoTag> location;
+  };
+
+  [[nodiscard]] const Core& core() const;
+  /// Copy-on-write: clones the core when other copies still reference it.
+  [[nodiscard]] Core& mutable_core();
+
+  std::shared_ptr<const Core> core_;
   SimTime ttl_ = SimTime::infinity();
-  std::uint64_t size_bytes_ = 0;
-  Priority priority_ = Priority::kMedium;
-  double quality_ = 1.0;
+  std::uint64_t keyword_stamp_ = 0;
   std::vector<Annotation> annotations_;
-  std::vector<KeywordId> true_keywords_;
-  std::string mime_type_ = "image/jpeg";  ///< Fig. 3.2 default payload kind
-  std::string format_ = "jpeg";
-  std::optional<GeoTag> location_;
+  std::vector<KeywordId> keywords_;
   std::vector<HopRecord> path_;
   std::vector<PathRating> path_ratings_;
   std::vector<std::pair<std::string, double>> properties_;

@@ -53,6 +53,14 @@ class ConnectivityManager final : public ContactSource {
   /// Current neighbors of \p id, already sorted (kept sorted incrementally;
   /// no per-call sort).
   [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id) const override;
+  /// Visit the current neighbors of \p id in sorted order without
+  /// materializing a vector (contact-controller hot path).
+  template <class Visitor>
+  void for_each_neighbor(NodeId id, Visitor&& visit) const {
+    const auto it = adjacency_.find(id);
+    if (it == adjacency_.end()) return;
+    for (NodeId n : it->second) visit(n);
+  }
   /// All currently connected pairs, sorted (deterministic iteration).
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> connected_pairs() const override;
   [[nodiscard]] std::size_t active_links() const { return links_; }

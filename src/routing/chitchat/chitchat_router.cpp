@@ -5,7 +5,12 @@ namespace dtnic::routing {
 ChitChatRouter::ChitChatRouter(const DestinationOracle& oracle,
                                const chitchat::ChitChatParams& params,
                                util::SimTime contact_quantum)
-    : Router(oracle), params_(params), table_(params), contact_quantum_(contact_quantum) {}
+    : ChitChatRouter(oracle, params, contact_quantum, RouterKind::kChitChat) {}
+
+ChitChatRouter::ChitChatRouter(const DestinationOracle& oracle,
+                               const chitchat::ChitChatParams& params,
+                               util::SimTime contact_quantum, RouterKind kind)
+    : Router(oracle, kind), params_(params), table_(params), contact_quantum_(contact_quantum) {}
 
 void ChitChatRouter::set_direct_interests(const std::vector<msg::KeywordId>& interests,
                                           util::SimTime now) {
@@ -14,21 +19,24 @@ void ChitChatRouter::set_direct_interests(const std::vector<msg::KeywordId>& int
 
 ChitChatRouter* ChitChatRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<ChitChatRouter*>(&host.router());
+  Router& router = host.router();
+  if (!is_chitchat_kind(router.kind())) return nullptr;
+  return static_cast<ChitChatRouter*>(&router);
 }
 
 void ChitChatRouter::pre_exchange(Host& self, util::SimTime now,
                                   std::span<Host* const> neighbors) {
   (void)self;
   // An interest does not decay while some currently connected device shares
-  // it (Algorithm 1's "device with I is connected" branch).
-  table_.decay(now, [&neighbors](msg::KeywordId k) {
-    for (Host* neighbor : neighbors) {
-      ChitChatRouter* other = ChitChatRouter::of(*neighbor);
-      if (other != nullptr && other->table_.has(k)) return true;
+  // it (Algorithm 1's "device with I is connected" branch). Resolve each
+  // neighbor's table once, not once per slot.
+  neighbor_tables_.clear();
+  for (Host* neighbor : neighbors) {
+    if (const ChitChatRouter* other = ChitChatRouter::of(*neighbor); other != nullptr) {
+      neighbor_tables_.push_back(&other->table_);
     }
-    return false;
-  });
+  }
+  table_.decay_against(now, neighbor_tables_);
 }
 
 void ChitChatRouter::on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) {
@@ -36,34 +44,64 @@ void ChitChatRouter::on_link_up(Host& self, Host& peer, util::SimTime now, doubl
   ChitChatRouter* other = ChitChatRouter::of(peer);
   if (other == nullptr) return;
   table_.grow_from(other->table_, now, contact_quantum_.sec());
-  for (const auto& entry : other->table_.entries()) {
-    table_.note_seen(entry.keyword, now);
-  }
+  // Refresh last-seen for every interest the peer shares; note_seen is
+  // order-independent, so the peer's slots are visited directly instead of
+  // materializing a sorted entries() snapshot.
+  other->table_.for_each([this, now](msg::KeywordId k, double, bool) {
+    table_.note_seen(k, now);
+  });
 }
 
 double ChitChatRouter::message_strength(const msg::Message& m) const {
-  return table_.sum_weights(m.keywords());
+  const std::uint64_t generation = table_.generation();
+  if (strength_cache_.size() >= kStrengthCacheCap) {
+    // Drop stale-generation entries; they would be recomputed on touch
+    // anyway. (Current-generation entries survive, keeping an active
+    // plan/promise round warm.)
+    for (auto it = strength_cache_.begin(); it != strength_cache_.end();) {
+      if (it->second.generation != generation) {
+        it = strength_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (strength_cache_.size() >= kStrengthCacheCap) strength_cache_.clear();
+  }
+  auto [it, inserted] = strength_cache_.try_emplace(m.id());
+  StrengthEntry& entry = it->second;
+  if (inserted || entry.stamp != m.keyword_stamp() || entry.generation != generation) {
+    entry.stamp = m.keyword_stamp();
+    entry.generation = generation;
+    entry.strength = table_.sum_weights(m.keywords());
+  }
+  return entry.strength;
 }
 
 std::vector<ForwardPlan> ChitChatRouter::plan(Host& self, Host& peer, util::SimTime now) {
-  (void)now;
   std::vector<ForwardPlan> plans;
-  ChitChatRouter* other = ChitChatRouter::of(peer);
-  for (const msg::Message* m : self.buffer().messages()) {
-    if (peer.has_seen(m->id())) continue;
-    if (oracle().is_destination(peer.id(), *m)) {
-      plans.push_back(ForwardPlan{m->id(), TransferRole::kDestination});
-      continue;
-    }
-    if (other == nullptr) continue;
-    const double s_u = message_strength(*m);
-    const double s_v = other->message_strength(*m);
-    if (s_v > s_u + params_.forward_margin) {
-      plans.push_back(ForwardPlan{m->id(), TransferRole::kRelay});
-    }
-  }
-  (void)self;
+  plan_into(self, peer, now, plans);
   return plans;
+}
+
+void ChitChatRouter::plan_into(Host& self, Host& peer, util::SimTime now,
+                               std::vector<ForwardPlan>& out) {
+  (void)now;
+  out.clear();
+  out.reserve(self.buffer().size());
+  ChitChatRouter* other = ChitChatRouter::of(peer);
+  self.buffer().for_each([&](const msg::Message& m) {
+    if (peer.has_seen(m.id())) return;
+    if (oracle().is_destination(peer.id(), m)) {
+      out.push_back(ForwardPlan{m.id(), TransferRole::kDestination});
+      return;
+    }
+    if (other == nullptr) return;
+    const double s_u = message_strength(m);
+    const double s_v = other->message_strength(m);
+    if (s_v > s_u + params_.forward_margin) {
+      out.push_back(ForwardPlan{m.id(), TransferRole::kRelay});
+    }
+  });
 }
 
 }  // namespace dtnic::routing

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <unordered_map>
+
 #include "routing/chitchat/interest_table.h"
 #include "routing/router.h"
 
@@ -28,7 +30,8 @@ class ChitChatRouter : public Router {
   [[nodiscard]] const chitchat::InterestTable& interests() const { return table_; }
 
   /// The ChitChatRouter attached to a host, or nullptr if the host runs a
-  /// different (or no) routing scheme.
+  /// different (or no) routing scheme. Tag-dispatched (RouterKind), so the
+  /// per-slot/per-neighbor hot paths pay a byte compare, not a dynamic_cast.
   [[nodiscard]] static ChitChatRouter* of(Host& host);
 
   void pre_exchange(Host& self, util::SimTime now,
@@ -36,14 +39,38 @@ class ChitChatRouter : public Router {
   void on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) override;
   [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                               util::SimTime now) override;
+  void plan_into(Host& self, Host& peer, util::SimTime now,
+                 std::vector<ForwardPlan>& out) override;
 
   /// Sum of this node's interest weights over the message's keywords (S_u).
+  /// Memoized per (message id, annotation stamp, table generation): within
+  /// one contact plan/promise round the sum is computed once per message,
+  /// not once per query. The cached value is always bit-identical to a
+  /// from-scratch sum_weights over the same keyword list.
   [[nodiscard]] double message_strength(const msg::Message& m) const;
 
  protected:
+  /// Derived incentive schemes pass their own RouterKind tag.
+  ChitChatRouter(const DestinationOracle& oracle, const chitchat::ChitChatParams& params,
+                 util::SimTime contact_quantum, RouterKind kind);
+
   chitchat::ChitChatParams params_;
   chitchat::InterestTable table_;
   util::SimTime contact_quantum_;
+
+ private:
+  struct StrengthEntry {
+    std::uint64_t stamp = 0;
+    std::uint64_t generation = 0;
+    double strength = 0.0;
+  };
+  /// Entries beyond this are pruned (stale generations first); bounds the
+  /// cache under long runs where message ids keep growing.
+  static constexpr std::size_t kStrengthCacheCap = 4096;
+
+  mutable std::unordered_map<msg::MessageId, StrengthEntry> strength_cache_;
+  /// Scratch for pre_exchange: connected neighbors' interest tables.
+  std::vector<const chitchat::InterestTable*> neighbor_tables_;
 };
 
 }  // namespace dtnic::routing

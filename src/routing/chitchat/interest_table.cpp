@@ -12,6 +12,7 @@ void InterestTable::add_direct(KeywordId k, SimTime now) {
   slot.direct = true;
   slot.weight = std::max(slot.weight, params_.initial_weight);
   slot.last_seen_s = now.sec();
+  ++generation_;
 }
 
 bool InterestTable::has_direct(KeywordId k) const {
@@ -24,21 +25,23 @@ double InterestTable::weight(KeywordId k) const {
   return it != slots_.end() ? it->second.weight : 0.0;
 }
 
-double InterestTable::sum_weights(const std::vector<KeywordId>& keywords) const {
+double InterestTable::sum_weights(std::span<const KeywordId> keywords) const {
   double sum = 0.0;
   for (KeywordId k : keywords) sum += weight(k);
   return sum;
 }
 
-double InterestTable::mean_weight(const std::vector<KeywordId>& keywords) const {
+double InterestTable::mean_weight(std::span<const KeywordId> keywords) const {
   if (keywords.empty()) return 0.0;
   return sum_weights(keywords) / static_cast<double>(keywords.size());
 }
 
-void InterestTable::decay(SimTime now, const std::function<bool(KeywordId)>& connected_has) {
+template <class ConnectedHas>
+void InterestTable::decay_impl(SimTime now, ConnectedHas&& connected_has) {
+  bool changed = false;
   for (auto it = slots_.begin(); it != slots_.end();) {
     Slot& slot = it->second;
-    if (connected_has && connected_has(it->first)) {
+    if (connected_has(it->first)) {
       // A connected device shares I: the weight holds and T_l refreshes.
       slot.last_seen_s = now.sec();
       ++it;
@@ -48,18 +51,40 @@ void InterestTable::decay(SimTime now, const std::function<bool(KeywordId)>& con
     // Divisor floored at 1 so decay never amplifies a weight (Algorithm 1
     // divides by β·(T_c − T_l), which would amplify for small gaps).
     const double divisor = std::max(1.0, params_.decay_beta * dt);
+    const double before = slot.weight;
     if (slot.direct) {
       slot.weight = (slot.weight - 0.5) / divisor + 0.5;
     } else {
       slot.weight = slot.weight / divisor;
     }
+    changed = changed || slot.weight != before;
     slot.last_seen_s = now.sec();  // decay applied up to `now`
     if (!slot.direct && slot.weight < params_.prune_epsilon) {
       it = slots_.erase(it);
+      changed = true;
     } else {
       ++it;
     }
   }
+  if (changed) ++generation_;
+}
+
+void InterestTable::decay(SimTime now, const std::function<bool(KeywordId)>& connected_has) {
+  if (connected_has) {
+    decay_impl(now, connected_has);
+  } else {
+    decay_impl(now, [](KeywordId) { return false; });
+  }
+}
+
+void InterestTable::decay_against(SimTime now,
+                                  std::span<const InterestTable* const> connected) {
+  decay_impl(now, [connected](KeywordId k) {
+    for (const InterestTable* table : connected) {
+      if (table->has(k)) return true;
+    }
+    return false;
+  });
 }
 
 int InterestTable::psi(bool self_has, bool self_direct, bool peer_direct) {
@@ -71,6 +96,7 @@ int InterestTable::psi(bool self_has, bool self_direct, bool peer_direct) {
 void InterestTable::grow_from(const InterestTable& peer, SimTime now, double contact_quantum_s) {
   DTNIC_REQUIRE(contact_quantum_s >= 0.0);
   const double quantum = std::min(contact_quantum_s, params_.growth_contact_cap_s);
+  bool changed = false;
   for (const auto& [keyword, peer_slot] : peer.slots_) {
     if (peer_slot.weight <= 0.0) continue;
     const auto it = slots_.find(keyword);
@@ -81,9 +107,12 @@ void InterestTable::grow_from(const InterestTable& peer, SimTime now, double con
                          static_cast<double>(divisor);
     if (delta <= 0.0) continue;
     Slot& slot = slots_[keyword];  // inserts transient slot if absent
+    const double before = slot.weight;
     slot.weight = std::min(params_.max_weight, slot.weight + delta);
     slot.last_seen_s = now.sec();
+    changed = changed || !self_has || slot.weight != before;
   }
+  if (changed) ++generation_;
 }
 
 void InterestTable::note_seen(KeywordId k, SimTime now) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -49,15 +50,26 @@ class InterestTable {
   [[nodiscard]] bool has_direct(KeywordId k) const;
   /// Weight of \p k; 0 if unknown.
   [[nodiscard]] double weight(KeywordId k) const;
-  [[nodiscard]] double sum_weights(const std::vector<KeywordId>& keywords) const;
+  [[nodiscard]] double sum_weights(std::span<const KeywordId> keywords) const;
   /// Mean weight over \p keywords (0 for an empty list).
-  [[nodiscard]] double mean_weight(const std::vector<KeywordId>& keywords) const;
+  [[nodiscard]] double mean_weight(std::span<const KeywordId> keywords) const;
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Monotone counter bumped whenever a weight changes or a slot appears or
+  /// disappears (add_direct / decay / grow_from). Strength caches key on it:
+  /// while the generation holds, every sum_weights result is still valid.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   /// Decay phase. \p connected_has(I) reports whether some *currently
   /// connected* device shares interest I — such interests do not decay and
   /// their last-seen timestamp refreshes (Algorithm 1).
   void decay(SimTime now, const std::function<bool(KeywordId)>& connected_has);
+
+  /// Decay against the interest tables of the currently connected ChitChat
+  /// neighbors. Equivalent to the predicate overload with "any table has(I)"
+  /// but hoists the neighbor-router resolution out of the per-slot loop; the
+  /// contact hot path uses this with a caller-owned scratch span.
+  void decay_against(SimTime now, std::span<const InterestTable* const> connected);
 
   /// Growth phase: absorb the peer's (already decayed) interests
   /// (Algorithm 2). \p contact_quantum_s is the capped contact-time credit
@@ -76,6 +88,14 @@ class InterestTable {
   /// Snapshot sorted by keyword id (deterministic iteration for tests).
   [[nodiscard]] std::vector<Entry> entries() const;
 
+  /// Visit every slot as (keyword, weight, direct) without allocating.
+  /// Iteration order is the hash map's — use only for order-independent
+  /// operations (e.g. refreshing last-seen stamps on link-up).
+  template <class Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const auto& [keyword, slot] : slots_) visit(keyword, slot.weight, slot.direct);
+  }
+
   [[nodiscard]] const ChitChatParams& params() const { return params_; }
 
  private:
@@ -85,11 +105,17 @@ class InterestTable {
     double last_seen_s = 0.0;  ///< T_l: last time a device with I was connected
   };
 
+  /// Algorithm 1 over all slots with an arbitrary connected-interest
+  /// predicate; both public decay entry points funnel here.
+  template <class ConnectedHas>
+  void decay_impl(SimTime now, ConnectedHas&& connected_has);
+
   /// ψ of Algorithm 2 for the six direct/transient/absent combinations.
   [[nodiscard]] static int psi(bool self_has, bool self_direct, bool peer_direct);
 
   ChitChatParams params_;
   std::unordered_map<KeywordId, Slot> slots_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace dtnic::routing::chitchat

@@ -11,7 +11,8 @@ namespace dtnic::routing {
 
 class DirectDeliveryRouter : public Router {
  public:
-  using Router::Router;
+  explicit DirectDeliveryRouter(const DestinationOracle& oracle)
+      : Router(oracle, RouterKind::kDirectDelivery) {}
 
   [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                               util::SimTime now) override;

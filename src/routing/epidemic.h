@@ -11,7 +11,9 @@ namespace dtnic::routing {
 
 class EpidemicRouter : public Router {
  public:
-  using Router::Router;
+  explicit EpidemicRouter(const DestinationOracle& oracle,
+                          RouterKind kind = RouterKind::kEpidemic)
+      : Router(oracle, kind) {}
 
   [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                               util::SimTime now) override;

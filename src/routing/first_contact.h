@@ -11,7 +11,8 @@ namespace dtnic::routing {
 
 class FirstContactRouter : public Router {
  public:
-  using Router::Router;
+  explicit FirstContactRouter(const DestinationOracle& oracle)
+      : Router(oracle, RouterKind::kFirstContact) {}
 
   [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                               util::SimTime now) override;

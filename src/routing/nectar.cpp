@@ -7,14 +7,16 @@
 namespace dtnic::routing {
 
 NectarRouter::NectarRouter(const StaticInterestOracle& oracle, const NectarParams& params)
-    : Router(oracle), interests_(oracle), params_(params) {
+    : Router(oracle, RouterKind::kNectar), interests_(oracle), params_(params) {
   DTNIC_REQUIRE(params.decay_per_hour >= 0.0);
   DTNIC_REQUIRE(params.meeting_gain > 0.0);
 }
 
 NectarRouter* NectarRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<NectarRouter*>(&host.router());
+  Router& router = host.router();
+  if (router.kind() != RouterKind::kNectar) return nullptr;
+  return static_cast<NectarRouter*>(&router);
 }
 
 double NectarRouter::decayed(const Entry& e, util::SimTime now) const {

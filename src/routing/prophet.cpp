@@ -7,7 +7,7 @@
 namespace dtnic::routing {
 
 ProphetRouter::ProphetRouter(const DestinationOracle& oracle, const ProphetParams& params)
-    : Router(oracle), params_(params) {
+    : Router(oracle, RouterKind::kProphet), params_(params) {
   DTNIC_REQUIRE(params.p_init > 0.0 && params.p_init <= 1.0);
   DTNIC_REQUIRE(params.gamma > 0.0 && params.gamma <= 1.0);
   DTNIC_REQUIRE(params.beta >= 0.0 && params.beta <= 1.0);
@@ -16,7 +16,9 @@ ProphetRouter::ProphetRouter(const DestinationOracle& oracle, const ProphetParam
 
 ProphetRouter* ProphetRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<ProphetRouter*>(&host.router());
+  Router& router = host.router();
+  if (router.kind() != RouterKind::kProphet) return nullptr;
+  return static_cast<ProphetRouter*>(&router);
 }
 
 void ProphetRouter::age(util::SimTime now) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,10 +24,39 @@
 
 namespace dtnic::routing {
 
+/// Concrete routing scheme tag, fixed at construction. The contact hot path
+/// recovers a router's concrete type per neighbor per slot (ChitChat decay,
+/// strength queries, reputation exchange); a one-byte tag comparison replaces
+/// the dynamic_cast that used to dominate those loops.
+enum class RouterKind : std::uint8_t {
+  kOther,  ///< base-class default; externally derived routers land here
+  kEpidemic,
+  kVaccineEpidemic,
+  kDirectDelivery,
+  kSprayAndWait,
+  kFirstContact,
+  kTwoHop,
+  kProphet,
+  kNectar,
+  kChitChat,
+  kIncentive,
+  kPiIncentive,
+};
+
+/// True when \p kind is ChitChatRouter or one of its derivations (the
+/// incentive schemes run on the ChitChat substrate).
+[[nodiscard]] constexpr bool is_chitchat_kind(RouterKind kind) {
+  return kind == RouterKind::kChitChat || kind == RouterKind::kIncentive ||
+         kind == RouterKind::kPiIncentive;
+}
+
 class Router {
  public:
-  explicit Router(const DestinationOracle& oracle) : oracle_(oracle) {}
+  explicit Router(const DestinationOracle& oracle, RouterKind kind = RouterKind::kOther)
+      : oracle_(oracle), kind_(kind) {}
   virtual ~Router() = default;
+
+  [[nodiscard]] RouterKind kind() const { return kind_; }
 
   /// Called once when the router is plugged into its host.
   virtual void attach(Host& self) { (void)self; }
@@ -54,6 +84,16 @@ class Router {
   /// Implementations must not offer messages \p peer has already seen.
   [[nodiscard]] virtual std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                                       util::SimTime now) = 0;
+
+  /// Allocation-aware variant of plan(): fill \p out (cleared first) instead
+  /// of returning a fresh vector, so a caller-owned scratch vector absorbs
+  /// the per-contact allocation. The default forwards to plan(); the hot
+  /// routers (ChitChat and the incentive schemes) implement their planning
+  /// here and derive plan() from it.
+  virtual void plan_into(Host& self, Host& peer, util::SimTime now,
+                         std::vector<ForwardPlan>& out) {
+    out = plan(self, peer, now);
+  }
 
   /// Peer-side admission control, evaluated before the transfer starts.
   /// \p offer carries the sender's role decision and incentive terms.
@@ -98,6 +138,7 @@ class Router {
 
  private:
   const DestinationOracle& oracle_;
+  RouterKind kind_ = RouterKind::kOther;
 };
 
 }  // namespace dtnic::routing

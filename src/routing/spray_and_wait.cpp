@@ -5,7 +5,7 @@
 namespace dtnic::routing {
 
 SprayAndWaitRouter::SprayAndWaitRouter(const DestinationOracle& oracle, int initial_copies)
-    : Router(oracle), initial_copies_(initial_copies) {
+    : Router(oracle, RouterKind::kSprayAndWait), initial_copies_(initial_copies) {
   DTNIC_REQUIRE_MSG(initial_copies >= 1, "spray needs at least one copy");
 }
 

@@ -11,7 +11,8 @@ namespace dtnic::routing {
 
 class TwoHopRouter : public Router {
  public:
-  using Router::Router;
+  explicit TwoHopRouter(const DestinationOracle& oracle)
+      : Router(oracle, RouterKind::kTwoHop) {}
 
   [[nodiscard]] std::vector<ForwardPlan> plan(Host& self, Host& peer,
                                               util::SimTime now) override;

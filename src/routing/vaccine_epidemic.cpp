@@ -4,7 +4,9 @@ namespace dtnic::routing {
 
 VaccineEpidemicRouter* VaccineEpidemicRouter::of(Host& host) {
   if (!host.has_router()) return nullptr;
-  return dynamic_cast<VaccineEpidemicRouter*>(&host.router());
+  Router& router = host.router();
+  if (router.kind() != RouterKind::kVaccineEpidemic) return nullptr;
+  return static_cast<VaccineEpidemicRouter*>(&router);
 }
 
 void VaccineEpidemicRouter::absorb_immunity(Host& self, const VaccineEpidemicRouter& other) {

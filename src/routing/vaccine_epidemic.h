@@ -21,7 +21,8 @@ namespace dtnic::routing {
 
 class VaccineEpidemicRouter : public EpidemicRouter {
  public:
-  using EpidemicRouter::EpidemicRouter;
+  explicit VaccineEpidemicRouter(const DestinationOracle& oracle)
+      : EpidemicRouter(oracle, RouterKind::kVaccineEpidemic) {}
 
   void on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) override;
   [[nodiscard]] AcceptDecision accept(Host& self, Host& from, const msg::Message& m,

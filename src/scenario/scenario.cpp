@@ -123,7 +123,9 @@ void Scenario::build() {
   world_.radio = cfg_.radio;
   world_.keyword_pool = &pool_;
   world_.enrichment_enabled = cfg_.enrichment_enabled;
-  world_.neighbors = [this](NodeId id) { return neighbor_hosts(id); };
+  world_.neighbors = [this](NodeId id, std::vector<Host*>& out) {
+    fill_neighbor_hosts(id, out);
+  };
   world_.host_by_id = [this](NodeId id) -> Host* {
     return id.valid() && id.value() < hosts_.size() ? hosts_[id.value()].get() : nullptr;
   };
@@ -301,12 +303,18 @@ void Scenario::build() {
   });
 }
 
-std::vector<Host*> Scenario::neighbor_hosts(NodeId id) {
-  std::vector<Host*> out;
+void Scenario::fill_neighbor_hosts(NodeId id, std::vector<Host*>& out) {
+  out.clear();
+  if (connectivity_ != nullptr) {
+    // Mobility-driven runs visit the live adjacency list directly; no
+    // per-query NodeId vector is materialized.
+    connectivity_->for_each_neighbor(
+        id, [&](NodeId n) { out.push_back(hosts_[n.value()].get()); });
+    return;
+  }
   for (NodeId n : contacts_->neighbors_of(id)) {
     out.push_back(hosts_[n.value()].get());
   }
-  return out;
 }
 
 void Scenario::handle_link_up(NodeId a, NodeId b, double distance_m) {
@@ -317,18 +325,16 @@ void Scenario::handle_link_up(NodeId a, NodeId b, double distance_m) {
 
   Host& ha = host(a);
   Host& hb = host(b);
-  // Pre-contact neighborhoods exclude the new peer.
-  auto neighbors_excluding = [this](NodeId self, NodeId other) {
-    std::vector<Host*> out;
-    for (Host* h : neighbor_hosts(self)) {
-      if (h->id() != other) out.push_back(h);
-    }
-    return out;
+  // Pre-contact neighborhoods exclude the new peer; filled into reused
+  // scratch so a contact allocates nothing here at steady state.
+  auto fill_excluding = [this](NodeId self, NodeId other, std::vector<Host*>& out) {
+    fill_neighbor_hosts(self, out);
+    std::erase_if(out, [other](Host* h) { return h->id() == other; });
   };
-  const auto na = neighbors_excluding(a, b);
-  const auto nb = neighbors_excluding(b, a);
-  ha.router().pre_exchange(ha, now, na);
-  hb.router().pre_exchange(hb, now, nb);
+  fill_excluding(a, b, neighbors_a_scratch_);
+  fill_excluding(b, a, neighbors_b_scratch_);
+  ha.router().pre_exchange(ha, now, neighbors_a_scratch_);
+  hb.router().pre_exchange(hb, now, neighbors_b_scratch_);
   ha.router().on_link_up(ha, hb, now, distance_m);
   hb.router().on_link_up(hb, ha, now, distance_m);
   pump(a, b);
@@ -367,7 +373,8 @@ void Scenario::pump(NodeId a, NodeId b) {
   for (Host* sender : {first, second}) {
     Host* receiver = sender == first ? second : first;
     const std::uint64_t direction_bit = sender->id() < receiver->id() ? 0 : 1;
-    for (const routing::ForwardPlan& plan : sender->router().plan(*sender, *receiver, now)) {
+    sender->router().plan_into(*sender, *receiver, now, plan_scratch_);
+    for (const routing::ForwardPlan& plan : plan_scratch_) {
       const std::uint64_t offer_key =
           (static_cast<std::uint64_t>(plan.message.value()) << 1) | direction_bit;
       // A refused offer is not re-tried within the same contact.

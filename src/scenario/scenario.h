@@ -82,7 +82,8 @@ class Scenario {
   void ttl_sweep();
   void sample_series();
 
-  [[nodiscard]] std::vector<routing::Host*> neighbor_hosts(routing::NodeId id);
+  /// Fill \p out with the hosts currently connected to \p id (clears first).
+  void fill_neighbor_hosts(routing::NodeId id, std::vector<routing::Host*>& out);
   [[nodiscard]] static std::uint64_t pair_key(routing::NodeId a, routing::NodeId b);
 
   ScenarioConfig cfg_;
@@ -127,6 +128,12 @@ class Scenario {
   /// Buffer revisions of both endpoints at the last fruitless pump; the link
   /// is not re-planned until either endpoint's buffer changes.
   std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> idle_memo_;
+
+  /// Contact-controller scratch, reused across contacts so the per-contact
+  /// pre-exchange/plan path allocates nothing at steady state.
+  std::vector<routing::Host*> neighbors_a_scratch_;
+  std::vector<routing::Host*> neighbors_b_scratch_;
+  std::vector<routing::ForwardPlan> plan_scratch_;
 
   stats::TimeSeries malicious_rating_series_;
   stats::TimeSeries mean_tokens_series_;

@@ -37,6 +37,35 @@ TEST(ExperimentStress, ManySeedsUnderContentionMatchSerial) {
   }
 }
 
+/// Buffer-churn stress over the strength-cache paths: tiny buffers force
+/// constant eviction (cache pruning, copy-on-write message cores) while
+/// heavy enrichment bumps the process-wide keyword stamp from every worker
+/// thread. Under TSan this covers the atomic stamp counter and the shared
+/// immutable cores crossing threads; in plain builds the serial comparison
+/// checks the memoized strength never perturbs results.
+TEST(ExperimentStress, BufferChurnWithEnrichmentMatchesSerial) {
+  util::ThreadPool::set_shared_threads(4);
+  ScenarioConfig cfg = ScenarioConfig::scaled_defaults(20, 0.5);
+  cfg.scheme = Scheme::kIncentive;
+  cfg.buffer_capacity_bytes = 4ull * 1024 * 1024;  // a handful of messages
+  cfg.messages_per_node_per_hour = 4.0;
+  cfg.enrich_probability = 0.9;
+  cfg.malicious_fraction = 0.3;
+
+  const ExperimentRunner runner(/*seeds=*/8, /*base_seed=*/23);
+  const AggregateResult parallel = runner.run(cfg);
+  const AggregateResult serial = runner.run_serial(cfg);
+
+  ASSERT_EQ(parallel.runs, serial.runs);
+  EXPECT_EQ(parallel.mdr.mean(), serial.mdr.mean());
+  EXPECT_EQ(parallel.traffic.mean(), serial.traffic.mean());
+  EXPECT_EQ(parallel.avg_final_tokens.mean(), serial.avg_final_tokens.mean());
+  for (std::size_t i = 0; i < parallel.raw.size(); ++i) {
+    EXPECT_EQ(parallel.raw[i].mdr, serial.raw[i].mdr);
+    EXPECT_EQ(parallel.raw[i].traffic, serial.raw[i].traffic);
+  }
+}
+
 TEST(ExperimentStress, RepeatedSweepsAreStable) {
   util::ThreadPool::set_shared_threads(4);
   std::vector<ScenarioConfig> points;
