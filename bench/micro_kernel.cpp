@@ -19,6 +19,9 @@
 #include "mobility/random_waypoint.h"
 #include "msg/buffer.h"
 #include "net/spatial_grid.h"
+#include "obs/event_fanout.h"
+#include "obs/trace_sink.h"
+#include "stats/metrics.h"
 #include "routing/chitchat/interest_table.h"
 #include "routing/host.h"
 #include "routing/oracle.h"
@@ -378,6 +381,30 @@ void BM_ScenarioMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioMinute)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+/// Event fan-out dispatch cost per sink count. Arg(0) is the empty-hub case
+/// every Host pays when no observer is attached — the number the "<2%
+/// no-sink overhead" acceptance bound rests on; Arg(1)/Arg(4) add
+/// MetricsCollector sinks (pure counter updates, no I/O).
+void BM_EventFanoutDispatch(benchmark::State& state) {
+  const int sinks = static_cast<int>(state.range(0));
+  obs::EventFanout fanout;
+  std::vector<std::unique_ptr<stats::MetricsCollector>> collectors;
+  std::vector<obs::SinkHandle> handles;
+  for (int i = 0; i < sinks; ++i) {
+    collectors.push_back(std::make_unique<stats::MetricsCollector>());
+    handles.push_back(fanout.add_sink(*collectors.back()));
+  }
+  const msg::Message m(util::MessageId(0), util::NodeId(0), util::SimTime::zero(),
+                       1024, msg::Priority::kMedium, 0.5);
+  for (auto _ : state) {
+    fanout.on_transfer_started(util::NodeId(0), util::NodeId(1), m,
+                               routing::TransferRole::kRelay);
+    fanout.on_relayed(util::NodeId(0), util::NodeId(1), m);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventFanoutDispatch)->Arg(0)->Arg(1)->Arg(4);
+
 /// Hand-timed run of one contact-scan kernel for the machine-readable
 /// summary: returns ns per scan and the pair count of the last scan.
 struct KernelSample {
@@ -556,6 +583,107 @@ void write_routing_exchange_json() {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Hand-timed fan-out dispatch: ns per event across sink counts, plus a
+/// TraceSink writing to a discarding stream (serialization cost without I/O).
+struct ObsSample {
+  double ns_per_event = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// A stream that swallows everything (measures formatting, not the disk).
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+ObsSample time_fanout_kernel(int sinks, int iterations) {
+  obs::EventFanout fanout;
+  std::vector<std::unique_ptr<stats::MetricsCollector>> collectors;
+  std::vector<obs::SinkHandle> handles;
+  for (int i = 0; i < sinks; ++i) {
+    collectors.push_back(std::make_unique<stats::MetricsCollector>());
+    handles.push_back(fanout.add_sink(*collectors.back()));
+  }
+  const msg::Message m(util::MessageId(0), util::NodeId(0), util::SimTime::zero(),
+                       1024, msg::Priority::kMedium, 0.5);
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    fanout.on_transfer_started(util::NodeId(0), util::NodeId(1), m,
+                               routing::TransferRole::kRelay);
+    fanout.on_relayed(util::NodeId(0), util::NodeId(1), m);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ObsSample sample;
+  sample.events = static_cast<std::uint64_t>(iterations) * 2;
+  sample.ns_per_event =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(sample.events);
+  return sample;
+}
+
+ObsSample time_trace_null_kernel(int iterations) {
+  NullBuf devnull;
+  std::ostream os(&devnull);
+  obs::TraceOptions opt;
+  opt.scheme = "bench";
+  obs::TraceSink sink(os, opt);
+  obs::EventFanout fanout;
+  stats::MetricsCollector metrics;
+  auto hm = fanout.add_sink(metrics);
+  auto ht = fanout.add_sink(sink);
+  const msg::Message m(util::MessageId(0), util::NodeId(0), util::SimTime::zero(),
+                       1024, msg::Priority::kMedium, 0.5);
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    fanout.on_transfer_started(util::NodeId(0), util::NodeId(1), m,
+                               routing::TransferRole::kRelay);
+    fanout.on_relayed(util::NodeId(0), util::NodeId(1), m);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ObsSample sample;
+  sample.events = static_cast<std::uint64_t>(iterations) * 2;
+  sample.ns_per_event =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(sample.events);
+  return sample;
+}
+
+/// Emit BENCH_observability.json: dispatch cost of the event fan-out per
+/// sink count and the JSONL serialization kernel. Controlled by
+/// DTNIC_BENCH_JSON_OBS (output path; default alongside the binary) and
+/// DTNIC_BENCH_JSON_FAST (fewer iterations, smoke scale).
+void write_observability_json() {
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON_OBS");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_observability.json";
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_kernel: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"schema\": \"dtnic.observability_bench.v1\",\n  \"results\": [\n";
+  bool first = true;
+  auto row = [&](const char* kernel, int sinks, int iterations, const ObsSample& sample) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"kernel\": \"" << kernel << "\", \"sinks\": " << sinks
+       << ", \"iterations\": " << iterations << ", \"ns_per_event\": " << sample.ns_per_event
+       << ", \"events\": " << sample.events << "}";
+  };
+  const int iterations = fast ? 2000 : 2000000;
+  for (const int sinks : {0, 1, 4}) {
+    row("fanout_dispatch", sinks, iterations, time_fanout_kernel(sinks, iterations));
+  }
+  const int trace_iterations = fast ? 1000 : 200000;
+  row("trace_null_sink", 2, trace_iterations, time_trace_null_kernel(trace_iterations));
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -565,5 +693,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   write_contact_scan_json();
   write_routing_exchange_json();
+  write_observability_json();
   return 0;
 }

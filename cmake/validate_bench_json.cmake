@@ -2,10 +2,12 @@
 # (BENCH_contact_scan.json, BENCH_routing_exchange.json). Run in script mode:
 #
 #   cmake -DJSON_FILE=<path> [-DEXPECTED_SCHEMA=<tag>] [-DREQUIRED_KEYS=a,b,c]
-#         [-DMETRIC_KEY=<key>] -P cmake/validate_bench_json.cmake
+#         [-DMETRIC_KEY=<key>] [-DCOUNT_KEY=<key>] -P cmake/validate_bench_json.cmake
 #
 # Defaults target the contact-scan artifact for backward compatibility; the
-# exchange artifact passes its own schema tag, key list, and metric key.
+# exchange and observability artifacts pass their own schema tag, key list,
+# metric key, and positivity-checked count key (COUNT_KEY; the observability
+# artifact uses `events` because its `sinks` column is legitimately 0).
 # Fails (FATAL_ERROR) unless the file parses, carries the expected schema
 # tag, and every result row has the required keys with a positive metric.
 # Used by the `bench_smoke_*_schema` ctests so CI catches a silently broken
@@ -25,6 +27,9 @@ if(NOT DEFINED REQUIRED_KEYS)
 endif()
 if(NOT DEFINED METRIC_KEY)
   set(METRIC_KEY "ns_per_scan")
+endif()
+if(NOT DEFINED COUNT_KEY)
+  set(COUNT_KEY "nodes")
 endif()
 string(REPLACE "," ";" _required_keys "${REQUIRED_KEYS}")
 
@@ -59,9 +64,9 @@ foreach(_i RANGE ${_last})
   if(_metric LESS_EQUAL 0)
     message(FATAL_ERROR "results[${_i}].${METRIC_KEY} must be positive, got ${_metric}")
   endif()
-  string(JSON _nodes GET "${_doc}" results ${_i} nodes)
-  if(_nodes LESS_EQUAL 0)
-    message(FATAL_ERROR "results[${_i}].nodes must be positive, got ${_nodes}")
+  string(JSON _countv GET "${_doc}" results ${_i} ${COUNT_KEY})
+  if(_countv LESS_EQUAL 0)
+    message(FATAL_ERROR "results[${_i}].${COUNT_KEY} must be positive, got ${_countv}")
   endif()
 endforeach()
 

@@ -1,0 +1,75 @@
+# Validates a run manifest written by obs::write_manifest (--manifest-out).
+# Run in script mode:
+#
+#   cmake -DJSON_FILE=<path> [-DREQUIRED_METRICS=a,b,c]
+#         -P cmake/validate_manifest_json.cmake
+#
+# Checks the dtnic.manifest.v1 schema tag, the presence of tool/scheme/git
+# identity fields, a non-empty seeds array, a config echo object, and the
+# metrics/timings_ms objects (with REQUIRED_METRICS keys inside metrics).
+# Used by the obs-smoke ctests so CI catches a malformed manifest.
+
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "pass -DJSON_FILE=<path to manifest json>")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "manifest file not found: ${JSON_FILE}")
+endif()
+if(NOT DEFINED REQUIRED_METRICS)
+  set(REQUIRED_METRICS "mdr,created,delivered")
+endif()
+string(REPLACE "," ";" _required_metrics "${REQUIRED_METRICS}")
+
+file(READ "${JSON_FILE}" _doc)
+
+string(JSON _schema ERROR_VARIABLE _err GET "${_doc}" schema)
+if(_err)
+  message(FATAL_ERROR "missing 'schema' key in ${JSON_FILE}: ${_err}")
+endif()
+if(NOT _schema STREQUAL "dtnic.manifest.v1")
+  message(FATAL_ERROR
+    "unexpected schema tag '${_schema}' in ${JSON_FILE} (want 'dtnic.manifest.v1')")
+endif()
+
+foreach(_key tool scheme git)
+  string(JSON _val ERROR_VARIABLE _err GET "${_doc}" ${_key})
+  if(_err)
+    message(FATAL_ERROR "missing '${_key}' in ${JSON_FILE}: ${_err}")
+  endif()
+  if(_val STREQUAL "")
+    message(FATAL_ERROR "'${_key}' must be non-empty in ${JSON_FILE}")
+  endif()
+endforeach()
+
+string(JSON _seeds ERROR_VARIABLE _err LENGTH "${_doc}" seeds)
+if(_err)
+  message(FATAL_ERROR "missing 'seeds' array in ${JSON_FILE}: ${_err}")
+endif()
+if(_seeds LESS 1)
+  message(FATAL_ERROR "'seeds' must list at least one seed, got ${_seeds}")
+endif()
+
+foreach(_section config metrics timings_ms artifacts)
+  string(JSON _type ERROR_VARIABLE _err TYPE "${_doc}" ${_section})
+  if(_err)
+    message(FATAL_ERROR "missing '${_section}' in ${JSON_FILE}: ${_err}")
+  endif()
+  if(NOT _type STREQUAL "OBJECT")
+    message(FATAL_ERROR "'${_section}' must be an object, got ${_type}")
+  endif()
+endforeach()
+
+foreach(_key IN LISTS _required_metrics)
+  string(JSON _val ERROR_VARIABLE _err GET "${_doc}" metrics ${_key})
+  if(_err)
+    message(FATAL_ERROR "metrics missing '${_key}' in ${JSON_FILE}: ${_err}")
+  endif()
+endforeach()
+
+string(JSON _config_len LENGTH "${_doc}" config)
+if(_config_len LESS 1)
+  message(FATAL_ERROR "'config' echo must carry at least one key")
+endif()
+
+message(STATUS
+  "${JSON_FILE}: schema '${_schema}' ok, ${_seeds} seed(s), ${_config_len} config keys")

@@ -1,0 +1,80 @@
+# Validates a JSONL event trace written by obs::TraceSink (--trace-out).
+# Run in script mode:
+#
+#   cmake -DJSONL_FILE=<path> [-DMIN_EVENTS=<n>] -P cmake/validate_trace_jsonl.cmake
+#
+# Checks that the first line is a dtnic.trace.v1 header carrying seed and
+# sample_every, and that every subsequent line is a standalone JSON object
+# with a numeric "t" and an "ev" tag drawn from the documented event set.
+# Used by the obs-smoke ctests so CI catches a malformed or truncated trace,
+# not just a crashing writer.
+
+cmake_policy(SET CMP0057 NEW)  # IN_LIST in script mode
+
+if(NOT DEFINED JSONL_FILE)
+  message(FATAL_ERROR "pass -DJSONL_FILE=<path to trace jsonl>")
+endif()
+if(NOT EXISTS "${JSONL_FILE}")
+  message(FATAL_ERROR "trace file not found: ${JSONL_FILE}")
+endif()
+if(NOT DEFINED MIN_EVENTS)
+  set(MIN_EVENTS 1)
+endif()
+
+set(_known_events
+    created transfer relayed delivered refused aborted dropped
+    tokens reputation enriched)
+
+file(STRINGS "${JSONL_FILE}" _lines)
+list(LENGTH _lines _n)
+if(_n LESS 1)
+  message(FATAL_ERROR "trace file is empty: ${JSONL_FILE}")
+endif()
+
+list(GET _lines 0 _header)
+string(JSON _schema ERROR_VARIABLE _err GET "${_header}" schema)
+if(_err)
+  message(FATAL_ERROR "header line missing 'schema': ${_err}")
+endif()
+if(NOT _schema STREQUAL "dtnic.trace.v1")
+  message(FATAL_ERROR "unexpected trace schema '${_schema}' (want 'dtnic.trace.v1')")
+endif()
+foreach(_key seed sample_every)
+  string(JSON _val ERROR_VARIABLE _err GET "${_header}" ${_key})
+  if(_err)
+    message(FATAL_ERROR "header line missing '${_key}': ${_err}")
+  endif()
+endforeach()
+
+set(_events 0)
+math(EXPR _last "${_n} - 1")
+if(_last GREATER_EQUAL 1)
+  foreach(_i RANGE 1 ${_last})
+    list(GET _lines ${_i} _line)
+    if(_line STREQUAL "")
+      continue()
+    endif()
+    string(JSON _ev ERROR_VARIABLE _err GET "${_line}" ev)
+    if(_err)
+      message(FATAL_ERROR "record ${_i} missing 'ev': ${_err}\nline: ${_line}")
+    endif()
+    if(NOT _ev IN_LIST _known_events)
+      message(FATAL_ERROR "record ${_i} has unknown event type '${_ev}'")
+    endif()
+    string(JSON _t ERROR_VARIABLE _err GET "${_line}" t)
+    if(_err)
+      message(FATAL_ERROR "record ${_i} missing 't': ${_err}\nline: ${_line}")
+    endif()
+    if(_t LESS 0)
+      message(FATAL_ERROR "record ${_i} has negative timestamp ${_t}")
+    endif()
+    math(EXPR _events "${_events} + 1")
+  endforeach()
+endif()
+
+if(_events LESS ${MIN_EVENTS})
+  message(FATAL_ERROR
+    "expected at least ${MIN_EVENTS} event records, got ${_events}")
+endif()
+
+message(STATUS "${JSONL_FILE}: schema '${_schema}' ok, ${_events} event records")

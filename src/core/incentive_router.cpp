@@ -180,6 +180,7 @@ void IncentiveRouter::rate_and_record(Host& self, msg::Message& m) {
   const double r_src = MessageJudgement::rate_source(m, world_->drm, rng_);
   ratings_.add_message_rating(m.source(), r_src);
   m.add_path_rating(msg::PathRating{self.id(), m.source(), r_src});
+  self.events().on_reputation_updated(self.id(), m.source(), ratings_.rating_of(m.source()));
   // Rate every enriching relay for the tags it added.
   std::vector<routing::NodeId> rated;
   for (const msg::Annotation& a : m.annotations()) {
@@ -189,6 +190,8 @@ void IncentiveRouter::rate_and_record(Host& self, msg::Message& m) {
     const double r = MessageJudgement::rate_annotator(m, a.annotator, world_->drm, rng_);
     ratings_.add_message_rating(a.annotator, r);
     m.add_path_rating(msg::PathRating{self.id(), a.annotator, r});
+    self.events().on_reputation_updated(self.id(), a.annotator,
+                                        ratings_.rating_of(a.annotator));
   }
 }
 
@@ -230,7 +233,8 @@ void IncentiveRouter::on_received(Host& self, Host& from, msg::Message m,
   }
   rate_and_record(self, m);
   if (world_->enrichment_enabled) {
-    enricher_.enrich(m, self.id(), profile_, rng_);
+    const int added = enricher_.enrich(m, self.id(), profile_, rng_);
+    if (added > 0) self.events().on_enriched(self.id(), m, added);
   }
   store(self, std::move(m), /*own=*/false);
 }

@@ -1,0 +1,118 @@
+#include "obs/event_fanout.h"
+
+#include <algorithm>
+
+namespace dtnic::obs {
+
+namespace detail {
+
+void SinkRegistry::remove(std::uint64_t id) {
+  // Registration order is the dispatch contract, so erase preserves order.
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [id](const Entry& e) { return e.id == id; }),
+                entries.end());
+}
+
+}  // namespace detail
+
+void SinkHandle::reset() {
+  if (id_ == 0) return;
+  if (auto registry = registry_.lock()) registry->remove(id_);
+  registry_.reset();
+  id_ = 0;
+}
+
+bool SinkHandle::active() const {
+  if (id_ == 0) return false;
+  auto registry = registry_.lock();
+  if (!registry) return false;
+  return std::any_of(registry->entries.begin(), registry->entries.end(),
+                     [this](const detail::SinkRegistry::Entry& e) { return e.id == id_; });
+}
+
+SinkHandle EventFanout::add_sink(routing::RoutingEvents& sink) {
+  const std::uint64_t id = registry_->next_id++;
+  registry_->entries.push_back({id, &sink});
+  return SinkHandle(registry_, id);
+}
+
+routing::RoutingEvents& EventFanout::add_owned_sink(
+    std::unique_ptr<routing::RoutingEvents> sink) {
+  routing::RoutingEvents& ref = *sink;
+  registry_->entries.push_back({registry_->next_id++, sink.get()});
+  owned_.push_back(std::move(sink));
+  return ref;
+}
+
+void EventFanout::remove_sink(const routing::RoutingEvents& sink) {
+  auto& entries = registry_->entries;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&sink](const detail::SinkRegistry::Entry& e) {
+                                 return e.sink == &sink;
+                               }),
+                entries.end());
+  owned_.erase(std::remove_if(owned_.begin(), owned_.end(),
+                              [&sink](const std::unique_ptr<routing::RoutingEvents>& s) {
+                                return s.get() == &sink;
+                              }),
+               owned_.end());
+}
+
+// Dispatch loops index rather than iterate so a sink that unregisters
+// another sink (or itself) mid-callback cannot invalidate the traversal.
+#define DTNIC_OBS_DISPATCH(call)                                        \
+  do {                                                                  \
+    const auto& entries = registry_->entries;                           \
+    for (std::size_t i = 0; i < entries.size(); ++i) {                  \
+      entries[i].sink->call;                                            \
+    }                                                                   \
+  } while (0)
+
+void EventFanout::on_created(const msg::Message& m) { DTNIC_OBS_DISPATCH(on_created(m)); }
+
+void EventFanout::on_transfer_started(routing::NodeId from, routing::NodeId to,
+                                      const msg::Message& m, routing::TransferRole role) {
+  DTNIC_OBS_DISPATCH(on_transfer_started(from, to, m, role));
+}
+
+void EventFanout::on_relayed(routing::NodeId from, routing::NodeId to,
+                             const msg::Message& m) {
+  DTNIC_OBS_DISPATCH(on_relayed(from, to, m));
+}
+
+void EventFanout::on_delivered(routing::NodeId from, routing::NodeId to,
+                               const msg::Message& m) {
+  DTNIC_OBS_DISPATCH(on_delivered(from, to, m));
+}
+
+void EventFanout::on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                             routing::AcceptDecision why) {
+  DTNIC_OBS_DISPATCH(on_refused(from, to, m, why));
+}
+
+void EventFanout::on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) {
+  DTNIC_OBS_DISPATCH(on_aborted(from, to, m));
+}
+
+void EventFanout::on_dropped(routing::NodeId at, const msg::Message& m,
+                             routing::DropReason why) {
+  DTNIC_OBS_DISPATCH(on_dropped(at, m, why));
+}
+
+void EventFanout::on_tokens_paid(routing::NodeId payer, routing::NodeId payee,
+                                 double amount) {
+  DTNIC_OBS_DISPATCH(on_tokens_paid(payer, payee, amount));
+}
+
+void EventFanout::on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                                        double rating) {
+  DTNIC_OBS_DISPATCH(on_reputation_updated(rater, rated, rating));
+}
+
+void EventFanout::on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) {
+  DTNIC_OBS_DISPATCH(on_enriched(at, m, tags_added));
+}
+
+#undef DTNIC_OBS_DISPATCH
+
+}  // namespace dtnic::obs

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "routing/events.h"
+
+/// \file event_fanout.h
+/// The observability hub: one RoutingEvents implementation that forwards
+/// every callback to any number of registered sinks, in registration order.
+/// A Scenario owns one fan-out and binds every Host to it at construction;
+/// observers attach with add_sink (borrowed, scoped unregistration via the
+/// returned SinkHandle) or add_owned_sink (the fan-out keeps the sink alive
+/// for its own lifetime).
+///
+/// Dispatch is a plain loop over a small flat vector: with no sinks
+/// registered an event costs one virtual call and an empty-range check, and
+/// nothing is ever allocated per event. Registration is not thread-safe by
+/// design — each simulation run owns its fan-out, so parallel
+/// ExperimentRunner seeds never share one and need no locking.
+
+namespace dtnic::obs {
+
+namespace detail {
+/// Registration state shared (via shared_ptr) between the fan-out and its
+/// handles, so a SinkHandle outliving the fan-out degrades to a no-op
+/// instead of dangling.
+struct SinkRegistry {
+  struct Entry {
+    std::uint64_t id = 0;
+    routing::RoutingEvents* sink = nullptr;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t next_id = 1;
+
+  void remove(std::uint64_t id);
+};
+}  // namespace detail
+
+/// Scoped registration: resetting (or destroying) the handle unregisters
+/// the sink. Move-only; a default-constructed handle is inactive.
+class SinkHandle {
+ public:
+  SinkHandle() = default;
+  SinkHandle(SinkHandle&& other) noexcept
+      : registry_(std::move(other.registry_)), id_(other.id_) {
+    other.registry_.reset();
+    other.id_ = 0;
+  }
+  SinkHandle& operator=(SinkHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      registry_ = std::move(other.registry_);
+      id_ = other.id_;
+      other.registry_.reset();
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  SinkHandle(const SinkHandle&) = delete;
+  SinkHandle& operator=(const SinkHandle&) = delete;
+  ~SinkHandle() { reset(); }
+
+  /// Unregister now; idempotent, and safe after the fan-out is destroyed.
+  void reset();
+
+  /// True while the sink is still registered on a live fan-out.
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class EventFanout;
+  SinkHandle(std::weak_ptr<detail::SinkRegistry> registry, std::uint64_t id)
+      : registry_(std::move(registry)), id_(id) {}
+
+  std::weak_ptr<detail::SinkRegistry> registry_;
+  std::uint64_t id_ = 0;
+};
+
+class EventFanout final : public routing::RoutingEvents {
+ public:
+  EventFanout() : registry_(std::make_shared<detail::SinkRegistry>()) {}
+  EventFanout(const EventFanout&) = delete;
+  EventFanout& operator=(const EventFanout&) = delete;
+
+  /// Register a borrowed sink: it receives every event until the returned
+  /// handle is reset/destroyed (or remove_sink is called). The caller keeps
+  /// ownership and must keep the sink alive while registered.
+  [[nodiscard]] SinkHandle add_sink(routing::RoutingEvents& sink);
+
+  /// Transfer ownership of \p sink to the fan-out: it receives events until
+  /// remove_sink or fan-out destruction. Returns the sink for optional later
+  /// remove_sink.
+  routing::RoutingEvents& add_owned_sink(std::unique_ptr<routing::RoutingEvents> sink);
+
+  /// Unregister \p sink (borrowed or owned; an owned sink is destroyed).
+  /// No-op if it is not registered.
+  void remove_sink(const routing::RoutingEvents& sink);
+
+  [[nodiscard]] bool empty() const { return registry_->entries.empty(); }
+  [[nodiscard]] std::size_t size() const { return registry_->entries.size(); }
+
+  // --- RoutingEvents: forward to every sink in registration order ----------
+  void on_created(const msg::Message& m) override;
+  void on_transfer_started(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                           routing::TransferRole role) override;
+  void on_relayed(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_delivered(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                  routing::AcceptDecision why) override;
+  void on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) override;
+  void on_dropped(routing::NodeId at, const msg::Message& m,
+                  routing::DropReason why) override;
+  void on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) override;
+  void on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                             double rating) override;
+  void on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) override;
+
+ private:
+  std::shared_ptr<detail::SinkRegistry> registry_;
+  std::vector<std::unique_ptr<routing::RoutingEvents>> owned_;
+};
+
+}  // namespace dtnic::obs

@@ -1,0 +1,204 @@
+#include "obs/node_stats.h"
+
+#include <algorithm>
+
+#include "util/num_format.h"
+
+namespace dtnic::obs {
+
+NodeStatsCollector::NodeStats& NodeStatsCollector::at(routing::NodeId id) {
+  const std::size_t index = id.value();
+  if (index >= stats_.size()) stats_.resize(index + 1);
+  return stats_[index];
+}
+
+void NodeStatsCollector::on_created(const msg::Message& m) { ++at(m.source()).originated; }
+
+void NodeStatsCollector::on_relayed(routing::NodeId from, routing::NodeId to,
+                                    const msg::Message&) {
+  ++at(from).relays_out;
+  ++at(to).relays_in;
+}
+
+void NodeStatsCollector::on_delivered(routing::NodeId from, routing::NodeId to,
+                                      const msg::Message&) {
+  ++at(from).deliveries_made;
+  ++at(to).delivered_to;
+}
+
+void NodeStatsCollector::on_refused(routing::NodeId, routing::NodeId to, const msg::Message&,
+                                    routing::AcceptDecision why) {
+  NodeStats& s = at(to);
+  switch (why) {
+    case routing::AcceptDecision::kNoTokens: ++s.refusals_no_tokens; break;
+    case routing::AcceptDecision::kUntrustedSender: ++s.refusals_untrusted; break;
+    case routing::AcceptDecision::kDuplicate: ++s.refusals_duplicate; break;
+    default: ++s.refusals_other; break;
+  }
+}
+
+void NodeStatsCollector::on_aborted(routing::NodeId from, routing::NodeId,
+                                    routing::MessageId) {
+  ++at(from).aborted;
+}
+
+void NodeStatsCollector::on_dropped(routing::NodeId at_node, const msg::Message&,
+                                    routing::DropReason) {
+  ++at(at_node).dropped;
+}
+
+void NodeStatsCollector::on_tokens_paid(routing::NodeId payer, routing::NodeId payee,
+                                        double amount) {
+  NodeStats& p = at(payer);
+  p.tokens_spent += amount;
+  ++p.payments_made;
+  NodeStats& r = at(payee);
+  r.tokens_earned += amount;
+  ++r.payments_received;
+}
+
+void NodeStatsCollector::on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                                               double rating) {
+  at(rated);  // ensure the rated node has a row even if otherwise inactive
+  opinions_[(static_cast<std::uint64_t>(rater.value()) << 32) | rated.value()] = rating;
+}
+
+void NodeStatsCollector::on_enriched(routing::NodeId at_node, const msg::Message&,
+                                     int tags_added) {
+  at(at_node).enrich_tags += static_cast<std::uint64_t>(tags_added);
+}
+
+void NodeStatsCollector::fold_reputation(std::vector<NodeStats>& stats) const {
+  std::vector<double> sum(stats.size(), 0.0);
+  std::vector<std::uint64_t> count(stats.size(), 0);
+  for (const auto& [key, rating] : opinions_) {
+    const std::size_t index = key & 0xffffffffu;
+    if (index >= stats.size()) continue;
+    sum[index] += rating;
+    ++count[index];
+  }
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (count[i] == 0) continue;
+    stats[i].reputation = sum[i] / static_cast<double>(count[i]);
+    stats[i].rated = true;
+  }
+}
+
+NodeStatsCollector::NodeStats NodeStatsCollector::of(routing::NodeId id) const {
+  if (id.value() >= stats_.size()) return NodeStats{};
+  std::vector<NodeStats> folded = stats_;
+  fold_reputation(folded);
+  return folded[id.value()];
+}
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "node,originated,relays_out,relays_in,delivered_to,deliveries_made,"
+    "refusals_no_tokens,refusals_untrusted,refusals_duplicate,refusals_other,"
+    "dropped,aborted,tokens_earned,tokens_spent,payments_made,payments_received,"
+    "enrich_tags,reputation\n";
+
+void append_counters(std::string& out, const NodeStatsCollector::NodeStats& s) {
+  using util::append_double;
+  using util::append_u64;
+  append_u64(out, s.originated);
+  out += ',';
+  append_u64(out, s.relays_out);
+  out += ',';
+  append_u64(out, s.relays_in);
+  out += ',';
+  append_u64(out, s.delivered_to);
+  out += ',';
+  append_u64(out, s.deliveries_made);
+  out += ',';
+  append_u64(out, s.refusals_no_tokens);
+  out += ',';
+  append_u64(out, s.refusals_untrusted);
+  out += ',';
+  append_u64(out, s.refusals_duplicate);
+  out += ',';
+  append_u64(out, s.refusals_other);
+  out += ',';
+  append_u64(out, s.dropped);
+  out += ',';
+  append_u64(out, s.aborted);
+  out += ',';
+  append_double(out, s.tokens_earned);
+  out += ',';
+  append_double(out, s.tokens_spent);
+  out += ',';
+  append_u64(out, s.payments_made);
+  out += ',';
+  append_u64(out, s.payments_received);
+  out += ',';
+  append_u64(out, s.enrich_tags);
+}
+
+}  // namespace
+
+void NodeStatsCollector::write_csv(std::ostream& os) const {
+  std::vector<NodeStats> folded = stats_;
+  fold_reputation(folded);
+  std::string out;
+  out += kCsvHeader;
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    util::append_u64(out, i);
+    out += ',';
+    append_counters(out, folded[i]);
+    out += ',';
+    if (folded[i].rated) util::append_double(out, folded[i].reputation);
+    out += '\n';
+  }
+  os << out;
+}
+
+void NodeStatsCollector::write_json(std::ostream& os) const {
+  std::vector<NodeStats> folded = stats_;
+  fold_reputation(folded);
+  std::string out = "{\"schema\":\"dtnic.node_stats.v1\",\"nodes\":[";
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    const NodeStats& s = folded[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"node\":";
+    util::append_u64(out, i);
+    auto field_u64 = [&out](const char* key, std::uint64_t v) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      util::append_u64(out, v);
+    };
+    auto field_num = [&out](const char* key, double v) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      util::append_double(out, v);
+    };
+    field_u64("originated", s.originated);
+    field_u64("relays_out", s.relays_out);
+    field_u64("relays_in", s.relays_in);
+    field_u64("delivered_to", s.delivered_to);
+    field_u64("deliveries_made", s.deliveries_made);
+    field_u64("refusals_no_tokens", s.refusals_no_tokens);
+    field_u64("refusals_untrusted", s.refusals_untrusted);
+    field_u64("refusals_duplicate", s.refusals_duplicate);
+    field_u64("refusals_other", s.refusals_other);
+    field_u64("dropped", s.dropped);
+    field_u64("aborted", s.aborted);
+    field_num("tokens_earned", s.tokens_earned);
+    field_num("tokens_spent", s.tokens_spent);
+    field_u64("payments_made", s.payments_made);
+    field_u64("payments_received", s.payments_received);
+    field_u64("enrich_tags", s.enrich_tags);
+    if (s.rated) {
+      field_num("reputation", s.reputation);
+    } else {
+      out += ",\"reputation\":null";
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+}  // namespace dtnic::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/events.h"
+
+/// \file node_stats.h
+/// Per-node accounting of the incentive economy: the counters the paper's
+/// analysis implies (tokens earned/spent, messages originated/relayed/
+/// delivered, refusals by reason, reputation standing) but the run-wide
+/// MetricsCollector aggregates away. Registered on the scenario's
+/// EventFanout next to the metrics; exported as CSV or JSON.
+///
+/// Node indices come from event NodeIds; the table grows on first touch, so
+/// the collector works for any contiguous id space without configuration.
+
+namespace dtnic::obs {
+
+class NodeStatsCollector final : public routing::RoutingEvents {
+ public:
+  struct NodeStats {
+    std::uint64_t originated = 0;       ///< messages created at this node
+    std::uint64_t relays_out = 0;       ///< relay copies handed to peers
+    std::uint64_t relays_in = 0;        ///< relay copies accepted from peers
+    std::uint64_t delivered_to = 0;     ///< copies received with direct interest
+    std::uint64_t deliveries_made = 0;  ///< copies this node handed to a destination
+    std::uint64_t refusals_no_tokens = 0;  ///< offers this node refused: cannot pay
+    std::uint64_t refusals_untrusted = 0;  ///< refused: sender below trust threshold
+    std::uint64_t refusals_duplicate = 0;
+    std::uint64_t refusals_other = 0;
+    std::uint64_t dropped = 0;  ///< buffered copies discarded here (full/TTL)
+    std::uint64_t aborted = 0;  ///< transfers cut off while this node sent
+    double tokens_earned = 0.0;
+    double tokens_spent = 0.0;
+    std::uint64_t payments_made = 0;
+    std::uint64_t payments_received = 0;
+    std::uint64_t enrich_tags = 0;  ///< keyword tags this node added en route
+    /// Mean over raters of the latest first-hand rating each holds of this
+    /// node; meaningful only when `rated` (CSV: empty cell, JSON: null).
+    double reputation = 0.0;
+    bool rated = false;
+  };
+
+  // --- RoutingEvents -------------------------------------------------------
+  void on_created(const msg::Message& m) override;
+  void on_relayed(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_delivered(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                  routing::AcceptDecision why) override;
+  void on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) override;
+  void on_dropped(routing::NodeId at, const msg::Message& m,
+                  routing::DropReason why) override;
+  void on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) override;
+  void on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                             double rating) override;
+  void on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) override;
+
+  // --- export ---------------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return stats_.size(); }
+  /// Counters for \p id; reputation fields are folded in before returning.
+  [[nodiscard]] NodeStats of(routing::NodeId id) const;
+
+  /// `node,originated,...` CSV, one row per node, to_chars formatting.
+  void write_csv(std::ostream& os) const;
+  /// `{"schema":"dtnic.node_stats.v1","nodes":[...]}` JSON document.
+  void write_json(std::ostream& os) const;
+
+ private:
+  NodeStats& at(routing::NodeId id);
+  void fold_reputation(std::vector<NodeStats>& stats) const;
+
+  std::vector<NodeStats> stats_;
+  /// Latest first-hand opinion per (rater << 32 | rated) pair, folded into
+  /// per-node means at export time.
+  std::unordered_map<std::uint64_t, double> opinions_;
+};
+
+}  // namespace dtnic::obs

@@ -1,0 +1,134 @@
+#include "obs/run_manifest.h"
+
+#include <cstdio>
+
+#include "util/num_format.h"
+
+namespace dtnic::obs {
+
+namespace {
+
+/// Escape a string for a JSON value. Config values and git output are plain
+/// ASCII in practice; quotes/backslashes/control bytes are covered anyway.
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  append_escaped(out, s);
+  out += '"';
+}
+
+/// Emit `key = value` config lines as a JSON object of string values.
+void append_config_object(std::string& out, const std::string& config_text) {
+  out += '{';
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos < config_text.size()) {
+    std::size_t end = config_text.find('\n', pos);
+    if (end == std::string::npos) end = config_text.size();
+    const std::string line = config_text.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    auto trim = [](std::string s) {
+      const std::size_t b = s.find_first_not_of(" \t");
+      const std::size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    if (key.empty() || key.front() == '#') continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_string(out, key);
+    out += ": ";
+    append_string(out, trim(line.substr(eq + 1)));
+  }
+  if (!first) out += "\n  ";
+  out += '}';
+}
+
+void append_kv_object(std::string& out,
+                      const std::vector<std::pair<std::string, double>>& pairs) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : pairs) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_string(out, key);
+    out += ": ";
+    util::append_double(out, value);
+  }
+  if (!first) out += "\n  ";
+  out += '}';
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& os, const RunManifest& manifest) {
+  std::string out = "{\n  \"schema\": \"dtnic.manifest.v1\",\n  \"tool\": ";
+  append_string(out, manifest.tool);
+  out += ",\n  \"scheme\": ";
+  append_string(out, manifest.scheme);
+  out += ",\n  \"git\": ";
+  append_string(out, manifest.git_revision.empty() ? "unknown" : manifest.git_revision);
+  out += ",\n  \"seeds\": [";
+  for (std::size_t i = 0; i < manifest.seeds.size(); ++i) {
+    if (i > 0) out += ", ";
+    util::append_u64(out, manifest.seeds[i]);
+  }
+  out += "],\n  \"config\": ";
+  append_config_object(out, manifest.config_text);
+  out += ",\n  \"metrics\": ";
+  append_kv_object(out, manifest.metrics);
+  out += ",\n  \"timings_ms\": ";
+  append_kv_object(out, manifest.timings_ms);
+  out += ",\n  \"artifacts\": {";
+  bool first = true;
+  for (const auto& [kind, path] : manifest.artifacts) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_string(out, kind);
+    out += ": ";
+    append_string(out, path);
+  }
+  if (!first) out += "\n  ";
+  out += "}\n}\n";
+  os << out;
+}
+
+std::string git_describe() {
+  std::string out;
+#if !defined(_WIN32)
+  if (FILE* pipe = popen("git describe --always --dirty --tags 2>/dev/null", "r");
+      pipe != nullptr) {
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+    pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+#endif
+  return out.empty() ? "unknown" : out;
+}
+
+}  // namespace dtnic::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file run_manifest.h
+/// Reproducibility manifest (`dtnic.manifest.v1`) emitted next to experiment
+/// outputs: which binary produced them, from which configuration and seeds,
+/// at which source revision, how long each phase took, and the headline
+/// metrics. A downstream reader can re-run the exact experiment from the
+/// manifest alone (the config echo round-trips through apply_config).
+///
+/// The writer is deliberately generic — metrics and timings are ordered
+/// key/value lists — so the obs layer does not depend on scenario types and
+/// any binary (examples, bench harness) can emit one.
+
+namespace dtnic::obs {
+
+struct RunManifest {
+  std::string tool;    ///< producing binary, e.g. "run_scenario"
+  std::string scheme;  ///< routing scheme under test
+  std::vector<std::uint64_t> seeds;
+  std::string git_revision;  ///< from git_describe(); "unknown" when absent
+  /// Config echo as `key = value` lines (scenario::to_config_text output);
+  /// emitted as a JSON object of string values.
+  std::string config_text;
+  std::vector<std::pair<std::string, double>> metrics;     ///< summary numbers
+  std::vector<std::pair<std::string, double>> timings_ms;  ///< phase wall-clock
+  /// Paths of sibling artifacts (trace, node stats), keyed by kind.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+};
+
+void write_manifest(std::ostream& os, const RunManifest& manifest);
+
+/// `git describe --always --dirty --tags` of the working tree, or "unknown"
+/// when git (or the repository) is unavailable.
+[[nodiscard]] std::string git_describe();
+
+}  // namespace dtnic::obs

@@ -1,0 +1,165 @@
+#include "obs/trace_replay.h"
+
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "msg/message.h"
+
+namespace dtnic::obs {
+
+namespace {
+
+using routing::AcceptDecision;
+using routing::DropReason;
+using routing::MessageId;
+using routing::NodeId;
+using routing::TransferRole;
+using util::SimTime;
+
+[[noreturn]] void fail(const std::string& what, const std::string& line) {
+  throw std::runtime_error("trace replay: " + what + " in line: " + line);
+}
+
+/// Position just past `"key":` in \p line, or npos. Our own writer never
+/// emits keys inside string values, so a plain substring search is exact.
+std::size_t value_pos(const std::string& line, const char* key) {
+  std::string pattern;
+  pattern.reserve(std::strlen(key) + 3);
+  pattern += '"';
+  pattern += key;
+  pattern += "\":";
+  const std::size_t at = line.find(pattern);
+  return at == std::string::npos ? std::string::npos : at + pattern.size();
+}
+
+double get_num(const std::string& line, const char* key) {
+  const std::size_t pos = value_pos(line, key);
+  if (pos == std::string::npos) fail(std::string("missing number '") + key + "'", line);
+  double v = 0.0;
+  const auto res = std::from_chars(line.data() + pos, line.data() + line.size(), v);
+  if (res.ec != std::errc{}) fail(std::string("bad number for '") + key + "'", line);
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& line, const char* key) {
+  const std::size_t pos = value_pos(line, key);
+  if (pos == std::string::npos) fail(std::string("missing number '") + key + "'", line);
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(line.data() + pos, line.data() + line.size(), v);
+  if (res.ec != std::errc{}) fail(std::string("bad number for '") + key + "'", line);
+  return v;
+}
+
+std::string get_str(const std::string& line, const char* key) {
+  std::size_t pos = value_pos(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    fail(std::string("missing string '") + key + "'", line);
+  }
+  ++pos;
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string::npos) fail(std::string("unterminated string '") + key + "'", line);
+  return line.substr(pos, end - pos);
+}
+
+NodeId node_of(const std::string& line, const char* key) {
+  return NodeId(static_cast<NodeId::underlying>(get_u64(line, key)));
+}
+
+MessageId msg_of(const std::string& line) {
+  return MessageId(static_cast<MessageId::underlying>(get_u64(line, "msg")));
+}
+
+msg::Priority prio_of(const std::string& line) {
+  const auto level = static_cast<int>(get_u64(line, "prio"));
+  if (level < 1 || level > 3) fail("priority out of range", line);
+  return static_cast<msg::Priority>(level);
+}
+
+AcceptDecision accept_of(const std::string& why, const std::string& line) {
+  if (why == "duplicate") return AcceptDecision::kDuplicate;
+  if (why == "no-tokens") return AcceptDecision::kNoTokens;
+  if (why == "untrusted-sender") return AcceptDecision::kUntrustedSender;
+  if (why == "refused") return AcceptDecision::kRefused;
+  if (why == "accept") return AcceptDecision::kAccept;
+  fail("unknown refusal reason '" + why + "'", line);
+}
+
+/// A stand-in copy for callbacks whose consumers only read the id (and, for
+/// created records, the payload metadata).
+msg::Message stub_message(MessageId id, NodeId source) {
+  return msg::Message(id, source, SimTime::zero(), 1, msg::Priority::kMedium, 1.0);
+}
+
+}  // namespace
+
+TraceReplayStats replay_trace(std::istream& in, routing::RoutingEvents& sink) {
+  TraceReplayStats stats;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("trace replay: empty stream");
+  stats.schema = get_str(line, "schema");
+  if (stats.schema != "dtnic.trace.v1") {
+    throw std::runtime_error("trace replay: unsupported schema '" + stats.schema + "'");
+  }
+  stats.seed = get_u64(line, "seed");
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string ev = get_str(line, "ev");
+    if (ev == "created") {
+      msg::Message m(msg_of(line), node_of(line, "node"), SimTime(get_num(line, "t")),
+                     get_u64(line, "size"), prio_of(line), get_num(line, "quality"));
+      sink.on_created(m);
+    } else if (ev == "transfer") {
+      const NodeId from = node_of(line, "from");
+      const msg::Message m = stub_message(msg_of(line), from);
+      const std::string role = get_str(line, "role");
+      sink.on_transfer_started(from, node_of(line, "to"), m,
+                               role == "destination" ? TransferRole::kDestination
+                                                     : TransferRole::kRelay);
+    } else if (ev == "relayed") {
+      const NodeId from = node_of(line, "from");
+      sink.on_relayed(from, node_of(line, "to"), stub_message(msg_of(line), from));
+    } else if (ev == "delivered") {
+      const NodeId from = node_of(line, "from");
+      const NodeId to = node_of(line, "to");
+      // Rebuild a copy whose relay_hop_count and end-to-end latency equal the
+      // traced values. The constructor records the creation hop, so a copy
+      // with `hops` relay hops needs `hops - 1` placeholders plus the final
+      // hop at exactly `latency_s` (to_chars round-trip restores its bits).
+      msg::Message m(msg_of(line), from, SimTime::zero(), 1, prio_of(line), 1.0);
+      const std::uint64_t hops = get_u64(line, "hops");
+      for (std::uint64_t i = 1; i < hops; ++i) m.record_hop(from, SimTime::zero());
+      if (hops > 0) m.record_hop(to, SimTime(get_num(line, "latency_s")));
+      sink.on_delivered(from, to, m);
+    } else if (ev == "refused") {
+      const NodeId from = node_of(line, "from");
+      sink.on_refused(from, node_of(line, "to"), stub_message(msg_of(line), from),
+                      accept_of(get_str(line, "why"), line));
+    } else if (ev == "aborted") {
+      sink.on_aborted(node_of(line, "from"), node_of(line, "to"), msg_of(line));
+    } else if (ev == "dropped") {
+      const NodeId at = node_of(line, "node");
+      sink.on_dropped(at, stub_message(msg_of(line), at),
+                      get_str(line, "why") == "buffer-full" ? DropReason::kBufferFull
+                                                            : DropReason::kTtlExpired);
+    } else if (ev == "tokens") {
+      sink.on_tokens_paid(node_of(line, "from"), node_of(line, "to"),
+                          get_num(line, "amount"));
+    } else if (ev == "reputation") {
+      sink.on_reputation_updated(node_of(line, "node"), node_of(line, "about"),
+                                 get_num(line, "rating"));
+    } else if (ev == "enriched") {
+      const NodeId at = node_of(line, "node");
+      sink.on_enriched(at, stub_message(msg_of(line), at),
+                       static_cast<int>(get_u64(line, "tags")));
+    } else {
+      fail("unknown event type '" + ev + "'", line);
+    }
+    ++stats.events;
+  }
+  return stats;
+}
+
+}  // namespace dtnic::obs

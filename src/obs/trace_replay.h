@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "routing/events.h"
+
+/// \file trace_replay.h
+/// Re-fires the events of a `dtnic.trace.v1` JSONL stream into any
+/// RoutingEvents sink. Message-bearing callbacks receive minimally
+/// reconstructed messages carrying exactly the traced fields (id, priority,
+/// size, quality, hop count, delivery latency); fields the trace does not
+/// carry are defaulted. Feeding a stats::MetricsCollector therefore
+/// reproduces the live run's counters bit-exactly — including the double
+/// latency/token sums, because the trace's to_chars round-trip formatting
+/// restores each addend's exact bits and replay preserves event order —
+/// provided the trace was written with sample_every == 1 and the full event
+/// mask.
+
+namespace dtnic::obs {
+
+struct TraceReplayStats {
+  std::string schema;
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;  ///< event records replayed (header excluded)
+};
+
+/// Throws std::runtime_error on a malformed header, record, or an unknown
+/// event type (v1 is strict: the schema tag is the compatibility contract).
+TraceReplayStats replay_trace(std::istream& in, routing::RoutingEvents& sink);
+
+}  // namespace dtnic::obs

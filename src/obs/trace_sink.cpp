@@ -1,0 +1,205 @@
+#include "obs/trace_sink.h"
+
+#include <bit>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/num_format.h"
+
+namespace dtnic::obs {
+
+namespace {
+
+[[nodiscard]] constexpr std::size_t type_index(TraceEvent e) {
+  return static_cast<std::size_t>(std::countr_zero(static_cast<std::uint32_t>(e)));
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::ostream& os, TraceOptions options)
+    : os_(&os), opt_(std::move(options)) {
+  if (opt_.sample_every == 0) opt_.sample_every = 1;
+  buf_.reserve(256);
+  write_header();
+}
+
+TraceSink::TraceSink(std::unique_ptr<std::ostream> os, TraceOptions options)
+    : owned_(std::move(os)), os_(owned_.get()), opt_(std::move(options)) {
+  if (opt_.sample_every == 0) opt_.sample_every = 1;
+  buf_.reserve(256);
+  write_header();
+}
+
+TraceSink::~TraceSink() { flush(); }
+
+void TraceSink::flush() { os_->flush(); }
+
+void TraceSink::write_header() {
+  buf_.clear();
+  buf_ += "{\"schema\":\"dtnic.trace.v1\",\"seed\":";
+  util::append_u64(buf_, opt_.seed);
+  buf_ += ",\"scheme\":\"";
+  buf_ += opt_.scheme;
+  buf_ += "\",\"sample_every\":";
+  util::append_u64(buf_, opt_.sample_every);
+  commit();
+}
+
+bool TraceSink::take(TraceEvent e) {
+  if ((opt_.events & trace_bit(e)) == 0) return false;
+  const std::uint32_t n = seen_of_type_[type_index(e)]++;
+  return n % opt_.sample_every == 0;
+}
+
+void TraceSink::begin(const char* name) {
+  buf_.clear();
+  buf_ += "{\"t\":";
+  util::append_double(buf_, opt_.clock ? opt_.clock().sec() : 0.0);
+  buf_ += ",\"ev\":\"";
+  buf_ += name;
+  buf_ += '"';
+}
+
+void TraceSink::commit() {
+  buf_ += "}\n";
+  os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  ++records_;
+}
+
+void TraceSink::key_num(const char* key, double v) {
+  buf_ += ",\"";
+  buf_ += key;
+  buf_ += "\":";
+  util::append_double(buf_, v);
+}
+
+void TraceSink::key_u64(const char* key, std::uint64_t v) {
+  buf_ += ",\"";
+  buf_ += key;
+  buf_ += "\":";
+  util::append_u64(buf_, v);
+}
+
+void TraceSink::key_str(const char* key, const char* v) {
+  buf_ += ",\"";
+  buf_ += key;
+  buf_ += "\":\"";
+  buf_ += v;
+  buf_ += '"';
+}
+
+void TraceSink::on_created(const msg::Message& m) {
+  if (!take(TraceEvent::kCreated)) return;
+  begin("created");
+  key_u64("msg", m.id().value());
+  key_u64("node", m.source().value());
+  key_u64("prio", static_cast<std::uint64_t>(msg::priority_level(m.priority())));
+  key_u64("size", m.size_bytes());
+  key_num("quality", m.quality());
+  key_u64("kw", m.keywords().size());
+  commit();
+}
+
+void TraceSink::on_transfer_started(routing::NodeId from, routing::NodeId to,
+                                    const msg::Message& m, routing::TransferRole role) {
+  if (!take(TraceEvent::kTransfer)) return;
+  begin("transfer");
+  key_u64("from", from.value());
+  key_u64("to", to.value());
+  key_u64("msg", m.id().value());
+  key_str("role", routing::role_name(role));
+  commit();
+}
+
+void TraceSink::on_relayed(routing::NodeId from, routing::NodeId to, const msg::Message& m) {
+  if (!take(TraceEvent::kRelayed)) return;
+  begin("relayed");
+  key_u64("from", from.value());
+  key_u64("to", to.value());
+  key_u64("msg", m.id().value());
+  commit();
+}
+
+void TraceSink::on_delivered(routing::NodeId from, routing::NodeId to,
+                             const msg::Message& m) {
+  if (!take(TraceEvent::kDelivered)) return;
+  begin("delivered");
+  key_u64("from", from.value());
+  key_u64("to", to.value());
+  key_u64("msg", m.id().value());
+  // The delivered record is self-contained for MetricsCollector replay:
+  // priority, hop count and latency travel with it, so replay needs no
+  // cross-record message state.
+  key_u64("prio", static_cast<std::uint64_t>(msg::priority_level(m.priority())));
+  key_u64("hops", m.path().empty() ? 0 : m.relay_hop_count());
+  key_num("latency_s",
+          m.path().empty() ? 0.0 : (m.path().back().received_at - m.created_at()).sec());
+  commit();
+}
+
+void TraceSink::on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                           routing::AcceptDecision why) {
+  if (!take(TraceEvent::kRefused)) return;
+  begin("refused");
+  key_u64("from", from.value());
+  key_u64("to", to.value());
+  key_u64("msg", m.id().value());
+  key_str("why", routing::accept_name(why));
+  commit();
+}
+
+void TraceSink::on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) {
+  if (!take(TraceEvent::kAborted)) return;
+  begin("aborted");
+  key_u64("from", from.value());
+  key_u64("to", to.value());
+  key_u64("msg", m.value());
+  commit();
+}
+
+void TraceSink::on_dropped(routing::NodeId at, const msg::Message& m,
+                           routing::DropReason why) {
+  if (!take(TraceEvent::kDropped)) return;
+  begin("dropped");
+  key_u64("node", at.value());
+  key_u64("msg", m.id().value());
+  key_str("why", routing::drop_name(why));
+  commit();
+}
+
+void TraceSink::on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) {
+  if (!take(TraceEvent::kTokens)) return;
+  begin("tokens");
+  key_u64("from", payer.value());
+  key_u64("to", payee.value());
+  key_num("amount", amount);
+  commit();
+}
+
+void TraceSink::on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                                      double rating) {
+  if (!take(TraceEvent::kReputation)) return;
+  begin("reputation");
+  key_u64("node", rater.value());
+  key_u64("about", rated.value());
+  key_num("rating", rating);
+  commit();
+}
+
+void TraceSink::on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) {
+  if (!take(TraceEvent::kEnriched)) return;
+  begin("enriched");
+  key_u64("node", at.value());
+  key_u64("msg", m.id().value());
+  key_u64("tags", static_cast<std::uint64_t>(tags_added));
+  commit();
+}
+
+std::unique_ptr<TraceSink> open_trace_file(const std::string& path, TraceOptions options) {
+  auto os = std::make_unique<std::ofstream>(path);
+  if (!*os) throw std::runtime_error("cannot open trace output file: " + path);
+  return std::make_unique<TraceSink>(std::move(os), std::move(options));
+}
+
+}  // namespace dtnic::obs

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "routing/events.h"
+#include "util/sim_time.h"
+
+/// \file trace_sink.h
+/// Schema-versioned JSONL event tracing (schema tag `dtnic.trace.v1`).
+///
+/// The sink writes one JSON object per line: a header record carrying the
+/// schema tag and run metadata, then one record per routing/incentive event
+/// in dispatch order, each stamped with the simulation time. Numbers are
+/// formatted with std::to_chars (shortest round-trippable form), so parsing
+/// a traced double back yields the exact bits of the live value — that is
+/// what lets replay_trace() reproduce MetricsCollector counters exactly.
+///
+/// Records are composed into one reused buffer (no per-event allocation at
+/// steady state) and pushed to the stream line-by-line; the stream's own
+/// buffering amortizes I/O. See DESIGN.md ("Observability") for the field
+/// table.
+
+namespace dtnic::obs {
+
+/// Bit per traceable event type, for TraceOptions::events.
+enum class TraceEvent : std::uint32_t {
+  kCreated = 1u << 0,
+  kTransfer = 1u << 1,
+  kRelayed = 1u << 2,
+  kDelivered = 1u << 3,
+  kRefused = 1u << 4,
+  kAborted = 1u << 5,
+  kDropped = 1u << 6,
+  kTokens = 1u << 7,
+  kReputation = 1u << 8,
+  kEnriched = 1u << 9,
+};
+inline constexpr std::size_t kTraceEventKinds = 10;
+inline constexpr std::uint32_t kAllTraceEvents = (1u << kTraceEventKinds) - 1;
+[[nodiscard]] constexpr std::uint32_t trace_bit(TraceEvent e) {
+  return static_cast<std::uint32_t>(e);
+}
+
+struct TraceOptions {
+  /// Sim-time source stamped on every record (typically the scenario's
+  /// simulator clock). When empty, records are stamped t=0.
+  std::function<util::SimTime()> clock;
+  std::uint64_t seed = 0;
+  std::string scheme;  ///< run metadata echoed in the header record
+  /// Keep 1 record in every \p sample_every per event type (1 = keep all).
+  /// Sampling > 1 keeps multi-hour traces tractable but breaks exact replay
+  /// (replay_trace documents this) by design.
+  std::uint32_t sample_every = 1;
+  /// Bitwise OR of trace_bit(TraceEvent) values; defaults to everything.
+  std::uint32_t events = kAllTraceEvents;
+};
+
+class TraceSink final : public routing::RoutingEvents {
+ public:
+  /// Write to a borrowed stream (kept open; flushed on destruction).
+  TraceSink(std::ostream& os, TraceOptions options);
+  /// Write to an owned stream (e.g. an std::ofstream), flushed and destroyed
+  /// with the sink.
+  TraceSink(std::unique_ptr<std::ostream> os, TraceOptions options);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+  ~TraceSink() override;
+
+  /// Records written so far, including the header record.
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+  void flush();
+
+  // --- RoutingEvents -------------------------------------------------------
+  void on_created(const msg::Message& m) override;
+  void on_transfer_started(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                           routing::TransferRole role) override;
+  void on_relayed(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_delivered(routing::NodeId from, routing::NodeId to, const msg::Message& m) override;
+  void on_refused(routing::NodeId from, routing::NodeId to, const msg::Message& m,
+                  routing::AcceptDecision why) override;
+  void on_aborted(routing::NodeId from, routing::NodeId to, routing::MessageId m) override;
+  void on_dropped(routing::NodeId at, const msg::Message& m,
+                  routing::DropReason why) override;
+  void on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) override;
+  void on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                             double rating) override;
+  void on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) override;
+
+ private:
+  void write_header();
+  /// Event-mask and 1-in-N sampling gate; advances the per-type counter.
+  [[nodiscard]] bool take(TraceEvent e);
+  /// Start a record in buf_: `{"t":<now>,"ev":"<name>"`.
+  void begin(const char* name);
+  /// Close the record and push the line to the stream.
+  void commit();
+  void key_num(const char* key, double v);
+  void key_u64(const char* key, std::uint64_t v);
+  void key_str(const char* key, const char* v);
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  TraceOptions opt_;
+  std::string buf_;
+  std::uint64_t records_ = 0;
+  std::array<std::uint32_t, kTraceEventKinds> seen_of_type_{};
+};
+
+/// Open \p path for writing and return a TraceSink over it; throws
+/// std::runtime_error if the file cannot be created.
+[[nodiscard]] std::unique_ptr<TraceSink> open_trace_file(const std::string& path,
+                                                         TraceOptions options);
+
+}  // namespace dtnic::obs

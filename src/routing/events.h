@@ -54,6 +54,22 @@ class RoutingEvents {
   virtual void on_tokens_paid(NodeId payer, NodeId payee, double amount) {
     (void)payer; (void)payee; (void)amount;
   }
+
+  /// \p rater revised its first-hand opinion of \p rated after judging a
+  /// message (DRM §3.3 case 1); \p rating is the rater's updated effective
+  /// rating of \p rated. Second-hand merges during contacts are not
+  /// reported — they are O(nodes) per contact and carry no judgement.
+  virtual void on_reputation_updated(NodeId rater, NodeId rated, double rating) {
+    (void)rater; (void)rated; (void)rating;
+  }
+
+  /// A relay added \p tags_added keyword annotations to the carried copy
+  /// (content enrichment, §1.3.2). Fired after the tags are applied, so
+  /// m.keywords() already includes them. Source-time malicious planting is
+  /// not reported here; those tags are visible on the created message.
+  virtual void on_enriched(NodeId at, const msg::Message& m, int tags_added) {
+    (void)at; (void)m; (void)tags_added;
+  }
 };
 
 }  // namespace dtnic::routing

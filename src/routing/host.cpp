@@ -11,7 +11,11 @@ RoutingEvents g_null_events;
 }  // namespace
 
 Host::Host(NodeId id, std::uint64_t buffer_capacity_bytes, msg::DropPolicy drop_policy)
-    : id_(id), buffer_(buffer_capacity_bytes, drop_policy), events_(&g_null_events) {
+    : Host(id, buffer_capacity_bytes, drop_policy, g_null_events) {}
+
+Host::Host(NodeId id, std::uint64_t buffer_capacity_bytes, msg::DropPolicy drop_policy,
+           RoutingEvents& events)
+    : id_(id), buffer_(buffer_capacity_bytes, drop_policy), events_(&events) {
   DTNIC_REQUIRE_MSG(id.valid(), "host id must be valid");
 }
 
@@ -29,10 +33,6 @@ void Host::set_router(std::unique_ptr<Router> router) {
 Router& Host::router() {
   DTNIC_REQUIRE_MSG(router_ != nullptr, "host has no router");
   return *router_;
-}
-
-void Host::set_events(RoutingEvents* events) {
-  events_ = events != nullptr ? events : &g_null_events;
 }
 
 }  // namespace dtnic::routing

@@ -21,6 +21,12 @@ class Host {
  public:
   Host(NodeId id, std::uint64_t buffer_capacity_bytes,
        msg::DropPolicy drop_policy = msg::DropPolicy::kFifoOldest);
+  /// Bind the event sink for the host's lifetime. The scenario passes its
+  /// obs::EventFanout here (as the RoutingEvents base), so any number of
+  /// observers can register on the fan-out without the host knowing;
+  /// \p events must outlive the host.
+  Host(NodeId id, std::uint64_t buffer_capacity_bytes, msg::DropPolicy drop_policy,
+       RoutingEvents& events);
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
 
@@ -49,10 +55,10 @@ class Host {
   [[nodiscard]] bool has_seen(MessageId id) const { return seen_.count(id) > 0; }
   void mark_seen(MessageId id) { seen_.insert(id); }
 
-  /// Event sink shared across the run; never null after scenario setup
-  /// (defaults to a process-wide null sink).
+  /// Event sink bound at construction; never null (defaults to a
+  /// process-wide null sink). Observers register on the scenario's
+  /// obs::EventFanout rather than swapping this binding.
   [[nodiscard]] RoutingEvents& events() { return *events_; }
-  void set_events(RoutingEvents* events);
 
  private:
   NodeId id_;

@@ -60,4 +60,8 @@ enum class DropReason {
   kTtlExpired,
 };
 
+[[nodiscard]] constexpr const char* drop_name(DropReason r) {
+  return r == DropReason::kBufferFull ? "buffer-full" : "ttl-expired";
+}
+
 }  // namespace dtnic::routing

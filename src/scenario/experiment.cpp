@@ -11,18 +11,22 @@ namespace dtnic::scenario {
 
 namespace {
 
-/// Submit one job per seed (seed = base, base+1, ...) for \p config.
+/// Submit one job per seed (seed = base, base+1, ...) for \p config. The
+/// factory is shared read-only across jobs; each job invokes it on its own
+/// worker thread to build a run-private observer.
 std::vector<std::future<RunResult>> submit_seeds(util::ThreadPool& pool,
                                                  const ScenarioConfig& config,
                                                  std::size_t seeds,
-                                                 std::uint64_t base_seed) {
+                                                 std::uint64_t base_seed,
+                                                 const ObserverFactory& factory = {}) {
   std::vector<std::future<RunResult>> futures;
   futures.reserve(seeds);
   for (std::size_t i = 0; i < seeds; ++i) {
     ScenarioConfig seeded = config;
     seeded.seed = base_seed + i;
-    futures.push_back(
-        pool.submit([seeded = std::move(seeded)] { return ExperimentRunner::run_once(seeded); }));
+    futures.push_back(pool.submit([seeded = std::move(seeded), factory] {
+      return ExperimentRunner::run_once(seeded, factory);
+    }));
   }
   return futures;
 }
@@ -41,9 +45,15 @@ ExperimentRunner::ExperimentRunner(std::size_t seeds, std::uint64_t base_seed)
   DTNIC_REQUIRE_MSG(seeds >= 1, "need at least one seed");
 }
 
-RunResult ExperimentRunner::run_once(ScenarioConfig config) {
+RunResult ExperimentRunner::run_once(ScenarioConfig config, const ObserverFactory& factory) {
   Scenario scenario(config);
-  return scenario.run();
+  std::unique_ptr<RunObserver> observer;
+  if (factory) observer = factory(scenario, config.seed);
+  RunResult result = scenario.run();
+  if (observer) observer->on_finish(scenario, result);
+  // The observer (and any sinks it registered) dies before the Scenario.
+  observer.reset();
+  return result;
 }
 
 AggregateResult ExperimentRunner::aggregate(std::string scheme, std::vector<RunResult> runs) {
@@ -74,18 +84,20 @@ AggregateResult ExperimentRunner::aggregate(std::string scheme, std::vector<RunR
   return agg;
 }
 
-AggregateResult ExperimentRunner::run(ScenarioConfig config) const {
-  auto futures = submit_seeds(util::ThreadPool::shared(), config, seeds_, base_seed_);
+AggregateResult ExperimentRunner::run(ScenarioConfig config,
+                                      const ObserverFactory& factory) const {
+  auto futures = submit_seeds(util::ThreadPool::shared(), config, seeds_, base_seed_, factory);
   std::vector<RunResult> runs = collect(futures);
   return aggregate(scheme_name(config.scheme), std::move(runs));
 }
 
-AggregateResult ExperimentRunner::run_serial(ScenarioConfig config) const {
+AggregateResult ExperimentRunner::run_serial(ScenarioConfig config,
+                                             const ObserverFactory& factory) const {
   std::vector<RunResult> runs;
   runs.reserve(seeds_);
   for (std::size_t i = 0; i < seeds_; ++i) {
     config.seed = base_seed_ + i;
-    runs.push_back(run_once(config));
+    runs.push_back(run_once(config, factory));
   }
   return aggregate(scheme_name(config.scheme), std::move(runs));
 }

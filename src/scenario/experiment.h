@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "scenario/config.h"
@@ -20,6 +21,25 @@
 /// as one batch so the pool never idles between sweep points.
 
 namespace dtnic::scenario {
+
+class Scenario;
+
+/// Per-run observability hook. An observer is created on the worker thread
+/// that owns the seeded Scenario, registers its sinks on scenario.events()
+/// in the factory, and is destroyed (after on_finish) before the Scenario —
+/// so each seeded run writes to its own sinks with no cross-thread sharing
+/// and no locking.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  /// Called after run() completes, while the Scenario is still alive.
+  virtual void on_finish(Scenario& scenario, const RunResult& result) { (void)scenario; (void)result; }
+};
+
+/// Invoked once per seeded run, on the run's worker thread, after the
+/// Scenario is built but before run(). May return nullptr for "no observer".
+using ObserverFactory =
+    std::function<std::unique_ptr<RunObserver>(Scenario& scenario, std::uint64_t seed)>;
 
 struct AggregateResult {
   std::string scheme;
@@ -53,15 +73,20 @@ class ExperimentRunner {
 
   /// Run one configuration across all seeds (seed = base, base+1, ...),
   /// fanned out over util::ThreadPool::shared(). Aggregation happens in
-  /// seed order, so the result is bit-identical to run_serial().
-  [[nodiscard]] AggregateResult run(ScenarioConfig config) const;
+  /// seed order, so the result is bit-identical to run_serial(). The
+  /// optional factory attaches per-run observers (trace sinks, per-node
+  /// stats); each run's observer lives on that run's worker thread.
+  [[nodiscard]] AggregateResult run(ScenarioConfig config,
+                                    const ObserverFactory& factory = {}) const;
 
   /// Reference implementation: the same seeds, one after another on the
   /// calling thread. Kept as the determinism baseline for tests.
-  [[nodiscard]] AggregateResult run_serial(ScenarioConfig config) const;
+  [[nodiscard]] AggregateResult run_serial(ScenarioConfig config,
+                                           const ObserverFactory& factory = {}) const;
 
   /// Run a single seeded configuration.
-  [[nodiscard]] static RunResult run_once(ScenarioConfig config);
+  [[nodiscard]] static RunResult run_once(ScenarioConfig config,
+                                          const ObserverFactory& factory = {});
 
   /// Fold per-seed results (already in seed order) into an aggregate.
   [[nodiscard]] static AggregateResult aggregate(std::string scheme,

@@ -10,27 +10,22 @@
 #include "util/table.h"
 
 /// \file report.h
-/// Human-readable and CSV renderings of run results: the per-run report,
-/// side-by-side scheme comparisons, time-series CSV export, and contact
-/// dynamics summaries (used to sanity-check the mobility substrate against
-/// ONE-like contact statistics).
+/// Renderings of run results: the per-run report, side-by-side scheme
+/// comparisons, time-series export, and contact dynamics summaries (used to
+/// sanity-check the mobility substrate against ONE-like contact statistics).
+///
+/// All renderings go through one Reporter bound to an output stream and a
+/// format. Table output is the historical human-readable form; CSV and JSON
+/// use util::num_format (std::to_chars) so every number round-trips to the
+/// exact double that produced it.
 
 namespace dtnic::scenario {
 
-/// Full single-run report as an aligned table.
-void write_run_report(std::ostream& os, const RunResult& result);
-
-/// Per-phase wall-clock breakdown of one run (ScopedTimer accounting).
-/// Phases are exclusive, so rows sum to at most the wall row; the remainder
-/// is event-loop and mobility overhead outside the instrumented phases.
-void write_timing_report(std::ostream& os, const PhaseTimings& timing);
-
-/// One row per result, for side-by-side scheme or sweep comparisons.
-[[nodiscard]] util::Table comparison_table(const std::vector<RunResult>& results);
-
-/// Time series as CSV: `time_s,value` rows with a header.
-void write_series_csv(std::ostream& os, const stats::TimeSeries& series,
-                      const std::string& value_name);
+enum class ReportFormat {
+  kTable,  ///< aligned pipe-separated text (human-readable, historical form)
+  kCsv,    ///< RFC-4180-ish CSV
+  kJson,   ///< one JSON object per report, schema "dtnic.report.v1"
+};
 
 /// Contact dynamics summary of a finalized trace.
 struct ContactSummary {
@@ -41,6 +36,56 @@ struct ContactSummary {
                                      ///< of the same pair (0 if no repeats)
   double total_contact_time_s = 0.0;
 };
+
+/// One sink for every report rendering. Bind it to a stream once and emit
+/// any mix of sections; the format applies to all of them.
+class Reporter {
+ public:
+  explicit Reporter(std::ostream& os, ReportFormat format = ReportFormat::kTable)
+      : os_(os), fmt_(format) {}
+
+  /// Full single-run report.
+  void run_report(const RunResult& result);
+
+  /// Per-phase wall-clock breakdown of one run (ScopedTimer accounting).
+  /// Phases are exclusive, so rows sum to at most the wall row; the
+  /// remainder is event-loop and mobility overhead outside the instrumented
+  /// phases.
+  void timing_report(const PhaseTimings& timing);
+
+  /// Time series; CSV emits `time_s,<value_name>` rows with a header.
+  void series(const stats::TimeSeries& series, const std::string& value_name);
+
+  /// Contact dynamics summary.
+  void contact_summary(const ContactSummary& summary);
+
+  /// One row per result, for side-by-side scheme or sweep comparisons.
+  void comparison(const std::vector<RunResult>& results);
+
+  [[nodiscard]] ReportFormat format() const { return fmt_; }
+
+ private:
+  /// Table/CSV fallthrough for sections built as a util::Table.
+  void emit_table(const util::Table& table);
+
+  std::ostream& os_;
+  ReportFormat fmt_;
+};
+
+// --- historical free functions (thin Reporter wrappers) ---------------------
+
+/// Full single-run report as an aligned table.
+void write_run_report(std::ostream& os, const RunResult& result);
+
+/// Per-phase wall-clock breakdown of one run, as an aligned table.
+void write_timing_report(std::ostream& os, const PhaseTimings& timing);
+
+/// One row per result, for side-by-side scheme or sweep comparisons.
+[[nodiscard]] util::Table comparison_table(const std::vector<RunResult>& results);
+
+/// Time series as CSV: `time_s,value` rows with a header.
+void write_series_csv(std::ostream& os, const stats::TimeSeries& series,
+                      const std::string& value_name);
 
 [[nodiscard]] ContactSummary summarize_contacts(const net::ContactTrace& trace);
 

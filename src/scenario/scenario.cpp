@@ -115,6 +115,10 @@ void Scenario::build() {
   DTNIC_ASSERT(!built_);
   built_ = true;
 
+  // The metrics collector is the fan-out's first sink, so every other
+  // observer sees events after the run-wide counters are updated.
+  metrics_sink_ = fanout_.add_sink(metrics_);
+
   pool_ = keywords_.make_pool(cfg_.keyword_pool_size);
   gate_rng_ = master_rng_.fork(kGateStream);
 
@@ -201,8 +205,8 @@ void Scenario::build() {
                                           : msg::DropPolicy::kFifoOldest;
   for (std::size_t i = 0; i < cfg_.num_nodes; ++i) {
     const NodeId id(static_cast<util::NodeId::underlying>(i));
-    hosts_.push_back(std::make_unique<Host>(id, cfg_.buffer_capacity_bytes, drop_policy));
-    hosts_.back()->set_events(&metrics_);
+    hosts_.push_back(
+        std::make_unique<Host>(id, cfg_.buffer_capacity_bytes, drop_policy, fanout_));
     hosts_.back()->battery().reset(cfg_.battery_capacity_j);
     if (manager != nullptr) {
       mobility_.push_back(make_mobility(i));
@@ -383,12 +387,12 @@ void Scenario::pump(NodeId a, NodeId b) {
       if (m == nullptr) continue;
       const auto decision = receiver->router().accept(*receiver, *sender, *m, plan, now);
       if (decision != routing::AcceptDecision::kAccept) {
-        metrics_.on_refused(sender->id(), receiver->id(), *m, decision);
+        fanout_.on_refused(sender->id(), receiver->id(), *m, decision);
         refused.insert(offer_key);
         continue;
       }
       pending_[key] = PendingTransfer{plan, *m};
-      metrics_.on_transfer_started(sender->id(), receiver->id(), *m, plan.role);
+      fanout_.on_transfer_started(sender->id(), receiver->id(), *m, plan.role);
       const bool started =
           transfers_->start(sender->id(), receiver->id(), plan.message, m->size_bytes());
       DTNIC_ASSERT(started);
@@ -424,9 +428,9 @@ void Scenario::handle_transfer_complete(const net::TransferManager::Transfer& t,
   sender.router().prepare_send(sender, receiver, copy, p.plan, sim_.now());
   sender.router().on_sent(sender, receiver, copy, p.plan, sim_.now());
   if (p.plan.role == routing::TransferRole::kDestination) {
-    metrics_.on_delivered(sender.id(), receiver.id(), copy);
+    fanout_.on_delivered(sender.id(), receiver.id(), copy);
   } else {
-    metrics_.on_relayed(sender.id(), receiver.id(), copy);
+    fanout_.on_relayed(sender.id(), receiver.id(), copy);
   }
   receiver.router().on_received(receiver, sender, std::move(copy), p.plan, sim_.now());
   pump(t.from, t.to);
@@ -435,7 +439,7 @@ void Scenario::handle_transfer_complete(const net::TransferManager::Transfer& t,
 void Scenario::handle_transfer_abort(const net::TransferManager::Transfer& t) {
   const util::ScopedTimer timer(transfer_ns_);
   pending_.erase(pair_key(t.from, t.to));
-  metrics_.on_aborted(t.from, t.to, t.message);
+  fanout_.on_aborted(t.from, t.to, t.message);
   Host& sender = host(t.from);
   Host& receiver = host(t.to);
   sender.router().on_abort(sender, receiver, t.message, sim_.now());
@@ -516,11 +520,11 @@ void Scenario::create_message(std::size_t index) {
     return;
   }
   for (const msg::Message& evicted : outcome.evicted) {
-    metrics_.on_dropped(source.id(), evicted, routing::DropReason::kBufferFull);
+    fanout_.on_dropped(source.id(), evicted, routing::DropReason::kBufferFull);
   }
   const msg::Message* stored = source.buffer().find(id);
   DTNIC_ASSERT(stored != nullptr);
-  metrics_.on_created(*stored);
+  fanout_.on_created(*stored);
   source.router().on_originated(source, *stored, now);
   // A fresh message may be immediately forwardable on active contacts.
   for (NodeId neighbor : contacts_->neighbors_of(source.id())) {
@@ -533,7 +537,7 @@ void Scenario::ttl_sweep() {
   const SimTime now = sim_.now();
   for (auto& h : hosts_) {
     for (const msg::Message& dropped : h->buffer().drop_expired(now)) {
-      metrics_.on_dropped(h->id(), dropped, routing::DropReason::kTtlExpired);
+      fanout_.on_dropped(h->id(), dropped, routing::DropReason::kTtlExpired);
     }
   }
 }

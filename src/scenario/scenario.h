@@ -16,6 +16,7 @@
 #include "net/contact_trace.h"
 #include "net/scripted_contacts.h"
 #include "net/transfer.h"
+#include "obs/event_fanout.h"
 #include "routing/host.h"
 #include "routing/oracle.h"
 #include "scenario/config.h"
@@ -46,6 +47,11 @@ class Scenario {
   [[nodiscard]] routing::Host& host(routing::NodeId id);
   [[nodiscard]] std::size_t node_count() const { return hosts_.size(); }
   [[nodiscard]] const stats::MetricsCollector& metrics() const { return metrics_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  /// The run's event hub: every Host dispatches here, and the metrics
+  /// collector is its first sink. Register observers (trace sinks, per-node
+  /// stats) before run(); they see events in registration order.
+  [[nodiscard]] obs::EventFanout& events() { return fanout_; }
   [[nodiscard]] const core::BehaviorProfile& behavior_of(routing::NodeId id) const;
   [[nodiscard]] const routing::StaticInterestOracle& oracle() const { return oracle_; }
   [[nodiscard]] msg::KeywordTable& keywords() { return keywords_; }
@@ -96,7 +102,11 @@ class Scenario {
   routing::StaticInterestOracle oracle_;
   core::IncentiveWorld world_;
   core::PiEscrowBank pi_bank_;
+  /// Declared before hosts_: hosts bind the fan-out by reference at
+  /// construction, so it must outlive them.
+  obs::EventFanout fanout_;
   stats::MetricsCollector metrics_;
+  obs::SinkHandle metrics_sink_;
 
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
   std::vector<std::unique_ptr<routing::Host>> hosts_;

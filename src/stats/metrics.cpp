@@ -58,6 +58,15 @@ void MetricsCollector::on_tokens_paid(routing::NodeId, routing::NodeId, double a
   ++payments_;
 }
 
+void MetricsCollector::on_reputation_updated(routing::NodeId, routing::NodeId, double) {
+  ++reputation_updates_;
+}
+
+void MetricsCollector::on_enriched(routing::NodeId, const msg::Message&, int tags_added) {
+  ++enrichments_;
+  enrich_tags_ += static_cast<std::uint64_t>(tags_added);
+}
+
 double MetricsCollector::mdr() const {
   if (created_ == 0) return 0.0;
   return static_cast<double>(delivered_.size()) / static_cast<double>(created_);

@@ -32,6 +32,9 @@ class MetricsCollector final : public routing::RoutingEvents {
   void on_dropped(routing::NodeId at, const msg::Message& m,
                   routing::DropReason why) override;
   void on_tokens_paid(routing::NodeId payer, routing::NodeId payee, double amount) override;
+  void on_reputation_updated(routing::NodeId rater, routing::NodeId rated,
+                             double rating) override;
+  void on_enriched(routing::NodeId at, const msg::Message& m, int tags_added) override;
 
   // --- primary results -----------------------------------------------------
   [[nodiscard]] std::size_t created() const { return created_; }
@@ -58,6 +61,11 @@ class MetricsCollector final : public routing::RoutingEvents {
   [[nodiscard]] std::uint64_t dropped_ttl() const { return dropped_ttl_; }
   [[nodiscard]] double tokens_paid_total() const { return tokens_paid_; }
   [[nodiscard]] std::uint64_t payments() const { return payments_; }
+  /// First-hand DRM rating revisions observed (volume, not values).
+  [[nodiscard]] std::uint64_t reputation_updates() const { return reputation_updates_; }
+  /// En-route enrichment events and the tags they added.
+  [[nodiscard]] std::uint64_t enrichments() const { return enrichments_; }
+  [[nodiscard]] std::uint64_t enrich_tags() const { return enrich_tags_; }
 
   /// Mean hops of first deliveries (0 if none).
   [[nodiscard]] double mean_delivery_hops() const;
@@ -85,6 +93,9 @@ class MetricsCollector final : public routing::RoutingEvents {
   std::uint64_t dropped_ttl_ = 0;
   double tokens_paid_ = 0.0;
   std::uint64_t payments_ = 0;
+  std::uint64_t reputation_updates_ = 0;
+  std::uint64_t enrichments_ = 0;
+  std::uint64_t enrich_tags_ = 0;
   double hops_sum_ = 0.0;
   double latency_sum_s_ = 0.0;
 };

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+/// \file num_format.h
+/// Locale-independent, round-trippable number formatting. Every
+/// machine-readable artifact (CSV exports, JSONL traces, manifests) goes
+/// through these helpers: std::to_chars emits the shortest decimal form that
+/// parses back to exactly the same double, so the output is byte-stable
+/// across platforms and locales and replaying a trace reproduces bit-exact
+/// sums.
+
+namespace dtnic::util {
+
+/// Append the shortest round-trippable decimal form of \p v.
+inline void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+[[nodiscard]] inline std::string format_double(double v) {
+  std::string s;
+  append_double(s, v);
+  return s;
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace dtnic::util

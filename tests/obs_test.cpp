@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_fanout.h"
+#include "obs/node_stats.h"
+#include "obs/run_manifest.h"
+#include "obs/trace_replay.h"
+#include "obs/trace_sink.h"
+#include "scenario/config.h"
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "stats/metrics.h"
+#include "test_helpers.h"
+
+// --- allocation accounting ---------------------------------------------------
+// The empty-fanout dispatch path must never allocate; we count by replacing
+// the global allocator for this test binary. Sanitizer builds interpose their
+// own allocator, so the counting (and the test that uses it) is compiled out.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DTNIC_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DTNIC_COUNT_ALLOCS 0
+#else
+#define DTNIC_COUNT_ALLOCS 1
+#endif
+#else
+#define DTNIC_COUNT_ALLOCS 1
+#endif
+
+#if DTNIC_COUNT_ALLOCS
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace dtnic {
+namespace {
+
+using routing::AcceptDecision;
+using routing::DropReason;
+using routing::MessageId;
+using routing::NodeId;
+using routing::TransferRole;
+using util::SimTime;
+
+// --- fan-out dispatch --------------------------------------------------------
+
+/// Sink that appends "<tag><event>" to a shared log, proving dispatch order.
+class OrderSink final : public routing::RoutingEvents {
+ public:
+  OrderSink(std::string tag, std::vector<std::string>& log) : tag_(std::move(tag)), log_(log) {}
+  void on_created(const msg::Message&) override { log_.push_back(tag_ + ":created"); }
+  void on_tokens_paid(NodeId, NodeId, double) override { log_.push_back(tag_ + ":tokens"); }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>& log_;
+};
+
+TEST(EventFanout, DispatchesInRegistrationOrder) {
+  obs::EventFanout fanout;
+  std::vector<std::string> log;
+  OrderSink first("a", log);
+  OrderSink second("b", log);
+  auto ha = fanout.add_sink(first);
+  auto hb = fanout.add_sink(second);
+  ASSERT_EQ(fanout.size(), 2u);
+
+  msg::KeywordTable keywords;
+  test::MessageFactory factory(keywords);
+  const msg::Message m = factory.make(NodeId(0), {"fire"});
+  fanout.on_created(m);
+  fanout.on_tokens_paid(NodeId(0), NodeId(1), 1.0);
+  EXPECT_EQ(log, (std::vector<std::string>{"a:created", "b:created", "a:tokens", "b:tokens"}));
+
+  // Resetting a handle unregisters just that sink.
+  ha.reset();
+  EXPECT_FALSE(ha.active());
+  EXPECT_TRUE(hb.active());
+  log.clear();
+  fanout.on_tokens_paid(NodeId(0), NodeId(1), 1.0);
+  EXPECT_EQ(log, std::vector<std::string>{"b:tokens"});
+}
+
+TEST(EventFanout, HandleOutlivesFanoutSafely) {
+  obs::SinkHandle handle;
+  stats::MetricsCollector metrics;
+  {
+    obs::EventFanout fanout;
+    handle = fanout.add_sink(metrics);
+    EXPECT_TRUE(handle.active());
+  }
+  // The fan-out died first: the handle degrades to an inactive no-op.
+  EXPECT_FALSE(handle.active());
+  handle.reset();
+}
+
+TEST(EventFanout, OwnedSinkLivesWithFanout) {
+  obs::EventFanout fanout;
+  auto owned = std::make_unique<stats::MetricsCollector>();
+  stats::MetricsCollector* raw = owned.get();
+  routing::RoutingEvents& registered = fanout.add_owned_sink(std::move(owned));
+  EXPECT_EQ(&registered, raw);
+  msg::KeywordTable keywords;
+  test::MessageFactory factory(keywords);
+  fanout.on_created(factory.make(NodeId(0), {"x"}));
+  EXPECT_EQ(raw->created(), 1u);
+  fanout.remove_sink(registered);  // destroys the owned sink
+  EXPECT_TRUE(fanout.empty());
+}
+
+#if DTNIC_COUNT_ALLOCS
+TEST(EventFanout, EmptyDispatchDoesNotAllocate) {
+  obs::EventFanout fanout;
+  msg::KeywordTable keywords;
+  test::MessageFactory factory(keywords);
+  const msg::Message m = factory.make(NodeId(0), {"fire"});
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    fanout.on_created(m);
+    fanout.on_transfer_started(NodeId(0), NodeId(1), m, TransferRole::kRelay);
+    fanout.on_relayed(NodeId(0), NodeId(1), m);
+    fanout.on_delivered(NodeId(0), NodeId(1), m);
+    fanout.on_refused(NodeId(0), NodeId(1), m, AcceptDecision::kRefused);
+    fanout.on_aborted(NodeId(0), NodeId(1), m.id());
+    fanout.on_dropped(NodeId(0), m, DropReason::kTtlExpired);
+    fanout.on_tokens_paid(NodeId(0), NodeId(1), 1.0);
+    fanout.on_reputation_updated(NodeId(0), NodeId(1), 3.0);
+    fanout.on_enriched(NodeId(0), m, 1);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+
+  // A registered pure-counter sink stays allocation-free too.
+  stats::MetricsCollector metrics;
+  auto handle = fanout.add_sink(metrics);
+  fanout.on_tokens_paid(NodeId(0), NodeId(1), 1.0);  // warm-up
+  const std::uint64_t with_sink = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    fanout.on_tokens_paid(NodeId(0), NodeId(1), 1.0);
+    fanout.on_relayed(NodeId(0), NodeId(1), m);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), with_sink);
+}
+#endif
+
+/// Property: routing a fixed event sequence through the fan-out produces a
+/// MetricsCollector state identical to feeding the collector directly.
+TEST(EventFanout, MetricsThroughFanoutMatchesDirect) {
+  msg::KeywordTable keywords;
+  test::MessageFactory factory(keywords);
+
+  stats::MetricsCollector direct;
+  stats::MetricsCollector fanned;
+  obs::EventFanout fanout;
+  auto handle = fanout.add_sink(fanned);
+
+  std::vector<msg::Message> messages;
+  for (int i = 0; i < 64; ++i) {
+    auto m = factory.make(NodeId(static_cast<std::uint32_t>(i % 7)), {"k" + std::to_string(i % 5)},
+                          SimTime::seconds(i), test::kMB,
+                          static_cast<msg::Priority>(1 + (i % 3)), 0.5 + 0.01 * (i % 40));
+    m.record_hop(NodeId(static_cast<std::uint32_t>((i + 1) % 7)), SimTime::seconds(i + 10));
+    messages.push_back(std::move(m));
+  }
+  const auto drive = [&](routing::RoutingEvents& sink) {
+    for (const msg::Message& m : messages) {
+      sink.on_created(m);
+      sink.on_transfer_started(m.source(), NodeId(9), m, TransferRole::kRelay);
+      sink.on_relayed(m.source(), NodeId(9), m);
+      sink.on_delivered(NodeId(9), NodeId(10), m);
+      sink.on_refused(m.source(), NodeId(9), m, AcceptDecision::kDuplicate);
+      sink.on_tokens_paid(NodeId(9), m.source(), 0.25 * m.quality());
+      sink.on_reputation_updated(NodeId(9), m.source(), 2.0 + m.quality());
+      sink.on_enriched(NodeId(9), m, 2);
+      sink.on_dropped(m.source(), m, DropReason::kBufferFull);
+      sink.on_aborted(m.source(), NodeId(9), m.id());
+    }
+  };
+  drive(direct);
+  drive(fanout);
+
+  EXPECT_EQ(fanned.created(), direct.created());
+  EXPECT_EQ(fanned.delivered_unique(), direct.delivered_unique());
+  EXPECT_EQ(fanned.mdr(), direct.mdr());
+  EXPECT_EQ(fanned.traffic(), direct.traffic());
+  EXPECT_EQ(fanned.relay_arrivals(), direct.relay_arrivals());
+  EXPECT_EQ(fanned.deliveries_total(), direct.deliveries_total());
+  EXPECT_EQ(fanned.refused_duplicates(), direct.refused_duplicates());
+  EXPECT_EQ(fanned.tokens_paid_total(), direct.tokens_paid_total());
+  EXPECT_EQ(fanned.payments(), direct.payments());
+  EXPECT_EQ(fanned.reputation_updates(), direct.reputation_updates());
+  EXPECT_EQ(fanned.enrichments(), direct.enrichments());
+  EXPECT_EQ(fanned.enrich_tags(), direct.enrich_tags());
+  EXPECT_EQ(fanned.dropped_buffer(), direct.dropped_buffer());
+  EXPECT_EQ(fanned.aborted(), direct.aborted());
+  EXPECT_EQ(fanned.mean_delivery_hops(), direct.mean_delivery_hops());
+  EXPECT_EQ(fanned.mean_delivery_latency_s(), direct.mean_delivery_latency_s());
+}
+
+// --- trace sink --------------------------------------------------------------
+
+TEST(TraceSink, GoldenJsonl) {
+  std::ostringstream os;
+  obs::TraceOptions opt;
+  double now = 0.0;
+  opt.clock = [&now] { return SimTime(now); };
+  opt.seed = 7;
+  opt.scheme = "incentive";
+  {
+    obs::TraceSink sink(os, opt);
+    msg::KeywordTable keywords;
+    test::MessageFactory factory(keywords);
+    msg::Message m = factory.make(NodeId(3), {"fire", "aid"}, SimTime::zero(), 1024,
+                                  msg::Priority::kHigh, 0.5);
+    now = 1.5;
+    sink.on_created(m);
+    sink.on_transfer_started(NodeId(3), NodeId(4), m, TransferRole::kDestination);
+    now = 2.25;
+    m.record_hop(NodeId(4), SimTime(2.25));
+    sink.on_delivered(NodeId(3), NodeId(4), m);
+    sink.on_refused(NodeId(4), NodeId(3), m, AcceptDecision::kNoTokens);
+    sink.on_dropped(NodeId(3), m, DropReason::kTtlExpired);
+    sink.on_tokens_paid(NodeId(4), NodeId(3), 0.5);
+    sink.on_reputation_updated(NodeId(4), NodeId(3), 3.25);
+    sink.on_enriched(NodeId(4), m, 2);
+    sink.on_aborted(NodeId(3), NodeId(4), m.id());
+    EXPECT_EQ(sink.records(), 10u);
+  }
+  EXPECT_EQ(os.str(),
+            "{\"schema\":\"dtnic.trace.v1\",\"seed\":7,\"scheme\":\"incentive\","
+            "\"sample_every\":1}\n"
+            "{\"t\":1.5,\"ev\":\"created\",\"msg\":0,\"node\":3,\"prio\":1,\"size\":1024,"
+            "\"quality\":0.5,\"kw\":2}\n"
+            "{\"t\":1.5,\"ev\":\"transfer\",\"from\":3,\"to\":4,\"msg\":0,"
+            "\"role\":\"destination\"}\n"
+            "{\"t\":2.25,\"ev\":\"delivered\",\"from\":3,\"to\":4,\"msg\":0,\"prio\":1,"
+            "\"hops\":1,\"latency_s\":2.25}\n"
+            "{\"t\":2.25,\"ev\":\"refused\",\"from\":4,\"to\":3,\"msg\":0,"
+            "\"why\":\"no-tokens\"}\n"
+            "{\"t\":2.25,\"ev\":\"dropped\",\"node\":3,\"msg\":0,\"why\":\"ttl-expired\"}\n"
+            "{\"t\":2.25,\"ev\":\"tokens\",\"from\":4,\"to\":3,\"amount\":0.5}\n"
+            "{\"t\":2.25,\"ev\":\"reputation\",\"node\":4,\"about\":3,\"rating\":3.25}\n"
+            "{\"t\":2.25,\"ev\":\"enriched\",\"node\":4,\"msg\":0,\"tags\":2}\n"
+            "{\"t\":2.25,\"ev\":\"aborted\",\"from\":3,\"to\":4,\"msg\":0}\n");
+}
+
+TEST(TraceSink, FiltersAndSamples) {
+  std::ostringstream os;
+  obs::TraceOptions opt;
+  opt.events = obs::trace_bit(obs::TraceEvent::kTokens);
+  opt.sample_every = 3;
+  {
+    obs::TraceSink sink(os, opt);
+    msg::KeywordTable keywords;
+    test::MessageFactory factory(keywords);
+    const msg::Message m = factory.make(NodeId(0), {"x"});
+    for (int i = 0; i < 9; ++i) {
+      sink.on_tokens_paid(NodeId(0), NodeId(1), static_cast<double>(i));
+      sink.on_created(m);  // masked out entirely
+    }
+    // Header + tokens records 0, 3 and 6.
+    EXPECT_EQ(sink.records(), 4u);
+  }
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("created"), std::string::npos);
+  EXPECT_NE(out.find("\"amount\":0}"), std::string::npos);
+  EXPECT_NE(out.find("\"amount\":3}"), std::string::npos);
+  EXPECT_NE(out.find("\"amount\":6}"), std::string::npos);
+  EXPECT_EQ(out.find("\"amount\":1}"), std::string::npos);
+}
+
+// --- trace replay ------------------------------------------------------------
+
+TEST(TraceReplay, ReproducesLiveMetricsExactly) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::paper_defaults();
+  cfg.num_nodes = 24;
+  cfg.sim_hours = 0.25;
+  cfg.area_side_m = 500.0;
+  cfg.messages_per_node_per_hour = 6.0;  // dense workload in a short horizon
+  cfg.seed = 11;
+
+  std::ostringstream trace;
+  scenario::Scenario scenario(cfg);
+  obs::TraceOptions opt;
+  opt.clock = [&sim = scenario.simulator()] { return sim.now(); };
+  opt.seed = cfg.seed;
+  opt.scheme = scenario::scheme_name(cfg.scheme);
+  obs::TraceSink sink(trace, opt);
+  auto handle = scenario.events().add_sink(sink);
+  (void)scenario.run();
+  handle.reset();
+
+  const stats::MetricsCollector& live = scenario.metrics();
+  ASSERT_GT(live.created(), 0u);
+
+  stats::MetricsCollector replayed;
+  std::istringstream in(trace.str());
+  const obs::TraceReplayStats stats = obs::replay_trace(in, replayed);
+  EXPECT_EQ(stats.schema, "dtnic.trace.v1");
+  EXPECT_EQ(stats.seed, cfg.seed);
+  EXPECT_GT(stats.events, 0u);
+
+  // Bit-exact parity: every counter and every derived double matches the
+  // live collector (to_chars round-trip preserves the exact latency bits).
+  EXPECT_EQ(replayed.created(), live.created());
+  EXPECT_EQ(replayed.delivered_unique(), live.delivered_unique());
+  EXPECT_EQ(replayed.mdr(), live.mdr());
+  EXPECT_EQ(replayed.mdr_for(msg::Priority::kHigh), live.mdr_for(msg::Priority::kHigh));
+  EXPECT_EQ(replayed.mdr_for(msg::Priority::kMedium), live.mdr_for(msg::Priority::kMedium));
+  EXPECT_EQ(replayed.mdr_for(msg::Priority::kLow), live.mdr_for(msg::Priority::kLow));
+  EXPECT_EQ(replayed.traffic(), live.traffic());
+  EXPECT_EQ(replayed.relay_arrivals(), live.relay_arrivals());
+  EXPECT_EQ(replayed.deliveries_total(), live.deliveries_total());
+  EXPECT_EQ(replayed.refused_no_tokens(), live.refused_no_tokens());
+  EXPECT_EQ(replayed.refused_untrusted(), live.refused_untrusted());
+  EXPECT_EQ(replayed.refused_duplicates(), live.refused_duplicates());
+  EXPECT_EQ(replayed.aborted(), live.aborted());
+  EXPECT_EQ(replayed.dropped_buffer(), live.dropped_buffer());
+  EXPECT_EQ(replayed.dropped_ttl(), live.dropped_ttl());
+  EXPECT_EQ(replayed.tokens_paid_total(), live.tokens_paid_total());
+  EXPECT_EQ(replayed.payments(), live.payments());
+  EXPECT_EQ(replayed.reputation_updates(), live.reputation_updates());
+  EXPECT_EQ(replayed.enrichments(), live.enrichments());
+  EXPECT_EQ(replayed.enrich_tags(), live.enrich_tags());
+  EXPECT_EQ(replayed.mean_delivery_hops(), live.mean_delivery_hops());
+  EXPECT_EQ(replayed.mean_delivery_latency_s(), live.mean_delivery_latency_s());
+}
+
+TEST(TraceReplay, RejectsUnknownSchemaAndEvents) {
+  stats::MetricsCollector sink;
+  {
+    std::istringstream in("{\"schema\":\"dtnic.trace.v999\",\"seed\":1}\n");
+    EXPECT_THROW(obs::replay_trace(in, sink), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "{\"schema\":\"dtnic.trace.v1\",\"seed\":1}\n"
+        "{\"t\":0,\"ev\":\"warp\"}\n");
+    EXPECT_THROW(obs::replay_trace(in, sink), std::runtime_error);
+  }
+}
+
+// --- per-node stats ----------------------------------------------------------
+
+TEST(NodeStats, TracksPerNodeEconomy) {
+  obs::NodeStatsCollector stats;
+  msg::KeywordTable keywords;
+  test::MessageFactory factory(keywords);
+  msg::Message m = factory.make(NodeId(0), {"fire"});
+
+  stats.on_created(m);
+  stats.on_relayed(NodeId(0), NodeId(1), m);
+  stats.on_delivered(NodeId(1), NodeId(2), m);
+  stats.on_tokens_paid(NodeId(2), NodeId(1), 1.5);
+  stats.on_refused(NodeId(0), NodeId(2), m, AcceptDecision::kNoTokens);
+  stats.on_dropped(NodeId(1), m, DropReason::kBufferFull);
+  stats.on_aborted(NodeId(0), NodeId(1), m.id());
+  stats.on_enriched(NodeId(1), m, 3);
+  stats.on_reputation_updated(NodeId(1), NodeId(0), 4.0);
+  stats.on_reputation_updated(NodeId(2), NodeId(0), 2.0);
+  stats.on_reputation_updated(NodeId(1), NodeId(0), 3.0);  // latest opinion wins
+
+  ASSERT_EQ(stats.node_count(), 3u);
+  const auto n0 = stats.of(NodeId(0));
+  EXPECT_EQ(n0.originated, 1u);
+  EXPECT_EQ(n0.aborted, 1u);
+  EXPECT_TRUE(n0.rated);
+  EXPECT_EQ(n0.reputation, (3.0 + 2.0) / 2.0);
+
+  const auto n1 = stats.of(NodeId(1));
+  EXPECT_EQ(n1.relays_in, 1u);
+  EXPECT_EQ(n1.deliveries_made, 1u);
+  EXPECT_EQ(n1.tokens_earned, 1.5);
+  EXPECT_EQ(n1.payments_received, 1u);
+  EXPECT_EQ(n1.dropped, 1u);
+  EXPECT_EQ(n1.enrich_tags, 3u);
+  EXPECT_FALSE(n1.rated);
+
+  const auto n2 = stats.of(NodeId(2));
+  EXPECT_EQ(n2.delivered_to, 1u);
+  EXPECT_EQ(n2.tokens_spent, 1.5);
+  EXPECT_EQ(n2.payments_made, 1u);
+  EXPECT_EQ(n2.refusals_no_tokens, 1u);
+
+  std::ostringstream csv;
+  stats.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("node,originated,"), std::string::npos);
+  EXPECT_NE(text.find("\n0,1,"), std::string::npos);
+
+  std::ostringstream json;
+  stats.write_json(json);
+  EXPECT_NE(json.str().find("\"schema\":\"dtnic.node_stats.v1\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"reputation\":null"), std::string::npos);
+}
+
+// --- run manifest ------------------------------------------------------------
+
+TEST(RunManifest, WritesSchemaAndConfigEcho) {
+  obs::RunManifest m;
+  m.tool = "obs_test";
+  m.scheme = "incentive";
+  m.seeds = {1, 2, 3};
+  m.git_revision = "abc123";
+  m.config_text = "nodes = 60\n# comment\nsim_hours = 3\n";
+  m.metrics = {{"mdr", 0.75}};
+  m.timings_ms = {{"wall", 12.5}};
+  m.artifacts = {{"trace", "out/trace.jsonl"}};
+  std::ostringstream os;
+  obs::write_manifest(os, m);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"schema\": \"dtnic.manifest.v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"tool\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"seeds\": [1, 2, 3]"), std::string::npos);
+  EXPECT_NE(text.find("\"nodes\": \"60\""), std::string::npos);
+  EXPECT_NE(text.find("\"sim_hours\": \"3\""), std::string::npos);
+  EXPECT_EQ(text.find("comment"), std::string::npos);
+  EXPECT_NE(text.find("\"mdr\": 0.75"), std::string::npos);
+  EXPECT_NE(text.find("\"trace\": \"out/trace.jsonl\""), std::string::npos);
+}
+
+// --- per-run observers -------------------------------------------------------
+
+TEST(ExperimentObserver, FactoryRunsOncePerSeed) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::paper_defaults();
+  cfg.num_nodes = 16;
+  cfg.sim_hours = 0.1;
+  cfg.area_side_m = 400.0;
+  cfg.messages_per_node_per_hour = 10.0;  // guarantee traffic in 6 sim-minutes
+
+  struct CountingObserver final : scenario::RunObserver {
+    explicit CountingObserver(std::atomic<int>& finished) : finished_(finished) {}
+    void on_finish(scenario::Scenario&, const scenario::RunResult& result) override {
+      EXPECT_GT(result.created, 0u);
+      finished_.fetch_add(1);
+    }
+    std::atomic<int>& finished_;
+  };
+
+  std::atomic<int> finished{0};
+  std::vector<std::uint64_t> seeds_seen;
+  const scenario::ExperimentRunner runner(3);
+  const auto agg = runner.run_serial(
+      cfg, [&](scenario::Scenario& s, std::uint64_t seed) -> std::unique_ptr<scenario::RunObserver> {
+        EXPECT_TRUE(s.events().size() >= 1);  // metrics is already registered
+        seeds_seen.push_back(seed);
+        return std::make_unique<CountingObserver>(finished);
+      });
+  EXPECT_EQ(agg.runs, 3u);
+  EXPECT_EQ(finished.load(), 3);
+  EXPECT_EQ(seeds_seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dtnic

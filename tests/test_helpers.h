@@ -8,6 +8,7 @@
 #include "msg/id_source.h"
 #include "msg/keyword.h"
 #include "msg/message.h"
+#include "obs/event_fanout.h"
 #include "routing/host.h"
 #include "routing/oracle.h"
 #include "routing/router.h"
@@ -103,8 +104,8 @@ class MicroWorld {
 
   routing::Host& add_host(std::uint64_t buffer_bytes = 64 * kMB) {
     const auto id = util::NodeId(static_cast<util::NodeId::underlying>(hosts_.size()));
-    hosts_.push_back(std::make_unique<routing::Host>(id, buffer_bytes));
-    hosts_.back()->set_events(&events);
+    hosts_.push_back(std::make_unique<routing::Host>(id, buffer_bytes,
+                                                     msg::DropPolicy::kFifoOldest, fanout));
     return *hosts_.back();
   }
 
@@ -130,7 +131,7 @@ class MicroWorld {
       if (m == nullptr) continue;
       const auto decision = b.router().accept(b, a, *m, plan, now);
       if (decision != routing::AcceptDecision::kAccept) {
-        events.on_refused(a.id(), b.id(), *m, decision);
+        fanout.on_refused(a.id(), b.id(), *m, decision);
         continue;
       }
       msg::Message copy = *m;
@@ -138,9 +139,9 @@ class MicroWorld {
       a.router().prepare_send(a, b, copy, plan, now);
       a.router().on_sent(a, b, copy, plan, now);
       if (plan.role == routing::TransferRole::kDestination) {
-        events.on_delivered(a.id(), b.id(), copy);
+        fanout.on_delivered(a.id(), b.id(), copy);
       } else {
-        events.on_relayed(a.id(), b.id(), copy);
+        fanout.on_relayed(a.id(), b.id(), copy);
       }
       b.router().on_received(b, a, std::move(copy), plan, now);
       ++arrived;
@@ -159,9 +160,13 @@ class MicroWorld {
 
   msg::KeywordTable keywords;
   routing::StaticInterestOracle oracle;
+  /// Hosts bind the fan-out by reference at construction; the recorder is
+  /// its first (and usually only) sink. Tests may add more sinks.
+  obs::EventFanout fanout;
   EventRecorder events;
 
  private:
+  obs::SinkHandle events_handle_ = fanout.add_sink(events);
   std::vector<std::unique_ptr<routing::Host>> hosts_;
 };
 
