@@ -3,15 +3,61 @@
 /// user count. Paper shape: both schemes' MDR grows with density, and the
 /// gap between Incentive and ChitChat narrows, almost vanishing at 3x users
 /// (more alternative paths per message).
+///
+/// Beyond the figure itself, --mega extends the sweep into the 10^5-node
+/// regime: one short-horizon 100k-node point per scheme, with contact scans
+/// sharded across --shard-threads intra-run shards (0 = one per hardware
+/// thread; output is bit-identical for every value — see DESIGN.md
+/// "Intra-run sharding"). Use --mega-nodes to vary the population.
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.h"
 
+namespace {
+
+/// One population point at fixed Table 5.1 density, short horizon, single
+/// seed — the regime where a tick touches 10^5 nodes and the sharded scan
+/// is the difference between tractable and not.
+void run_mega_point(std::size_t nodes, std::size_t shard_threads) {
+  using namespace dtnic;
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(
+      nodes, /*sim_hours=*/0.05);  // 3 simulated minutes: ~180 full scans
+  cfg.messages_per_node_per_hour = 0.5;
+  cfg.sample_interval_s = 60.0;
+  cfg.shard_threads = shard_threads;
+
+  util::Table table({"scheme", "MDR", "contacts", "wall s"});
+  for (const auto scheme : {scenario::Scheme::kIncentive, scenario::Scheme::kChitChat}) {
+    cfg.scheme = scheme;
+    const auto start = std::chrono::steady_clock::now();
+    const scenario::ExperimentRunner runner(/*seeds=*/1);
+    const auto agg = runner.run_serial(cfg);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    table.add_row({scenario::scheme_name(scheme),
+                   util::Table::cell(agg.mdr.mean(), 3),
+                   std::to_string(agg.raw.front().contacts),
+                   util::Table::cell(wall_s, 1)});
+  }
+  std::cout << "\n-- mega point: " << nodes << " nodes, "
+            << (cfg.shard_threads == 0 ? std::string("auto")
+                                       : std::to_string(cfg.shard_threads))
+            << " shard thread(s), 0.05 h --\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dtnic;
   util::Cli cli;
+  cli.add_flag("mega", "false", "also run a 10^5-node point with sharded scans");
+  cli.add_flag("mega-nodes", "100000", "population of the --mega point");
+  cli.add_flag("shard-threads", "0",
+               "intra-run scan shards (0 = one per hardware thread)");
   const bench::BenchScale scale = bench::resolve_scale(cli, argc, argv, argv[0]);
   bench::print_header("Figure 5.5: MDR vs number of users (fixed area)", scale);
 
@@ -27,6 +73,8 @@ int main(int argc, char** argv) {
     base.area_side_m = std::sqrt(static_cast<double>(base.num_nodes) /
                                  (500.0 / (2236.0 * 2236.0)));
   }
+  // The figure sweep benefits from sharded scans too at large --nodes.
+  base.shard_threads = static_cast<std::size_t>(cli.get_int("shard-threads"));
 
   std::vector<scenario::ScenarioConfig> points;
   for (const double mult : {1.0, 2.0, 3.0}) {  // paper: 500, 1000, 1500
@@ -52,5 +100,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nexpected shape: MDR rises with density for both schemes; the\n"
                "chitchat-minus-incentive gap shrinks toward zero.\n";
+
+  if (cli.get_bool("mega")) {
+    run_mega_point(static_cast<std::size_t>(cli.get_int("mega-nodes")),
+                   static_cast<std::size_t>(cli.get_int("shard-threads")));
+  }
   return 0;
 }

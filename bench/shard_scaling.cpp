@@ -1,0 +1,130 @@
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobility/random_waypoint.h"
+#include "net/connectivity.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+/// Strong-scaling benchmark for the intra-run sharded contact scan
+/// (DESIGN.md "Intra-run sharding"): one fixed world, identical tick work,
+/// shard counts {1, 2, 4, 8}. Because the sharded scan is bit-identical to
+/// the serial one by construction, the only thing that may change across
+/// rows is wall-clock time — the benchmark asserts the pair count to prove
+/// it timed the same work.
+///
+/// Emits BENCH_shard_scaling.json (schema dtnic.shard_scaling_bench.v1):
+///   DTNIC_BENCH_JSON_SHARD  output path (default alongside the binary)
+///   DTNIC_BENCH_JSON_FAST   any value: smoke-test scale for CI
+///
+/// Node count defaults to 10^4 (the acceptance tick); pass a different count
+/// as argv[1]. Speedup on a given host is bounded by its core count — a
+/// single-core CI box will report ~1x for every row, which is expected.
+
+namespace {
+
+using namespace dtnic;
+
+struct Sample {
+  double ns_per_tick = 0.0;
+  std::size_t pairs = 0;
+};
+
+/// Time `ticks` full connectivity scans of an n-node random-waypoint world
+/// under `shards` intra-scan shards (after one untimed warm-up scan that
+/// pays grid construction and first-leg generation).
+Sample time_world(std::size_t n, std::size_t shards, std::size_t ticks) {
+  sim::Simulator sim;
+  net::RadioParams radio;  // 100 m range, Table 5.1
+  net::ConnectivityManager manager(sim, radio, util::SimTime::seconds(1.0), shards);
+
+  // Density matched to the paper's scenario family: ~64 nodes per km^2, the
+  // fig55 500-node point. Scaling area with n keeps per-tick contact work
+  // proportional to n instead of n^2.
+  const double side = std::sqrt(static_cast<double>(n) / 64.0) * 1000.0;
+  mobility::RandomWaypointParams params;
+  params.area = {side, side};
+  util::Rng seed_rng(2017);
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models;
+  models.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    models.push_back(std::make_unique<mobility::RandomWaypoint>(params, seed_rng.fork(i)));
+    manager.add_node(util::NodeId(static_cast<std::uint32_t>(i)), models.back().get());
+  }
+
+  manager.scan();  // warm-up: grid insertions + initial link formation
+  double t = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ticks; ++i) {
+    t += 1.0;
+    sim.run_until(util::SimTime::seconds(t));
+    manager.scan();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  Sample s;
+  s.ns_per_tick =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(ticks);
+  s.pairs = manager.active_links();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+  std::size_t nodes = fast ? 600 : 10000;
+  if (argc > 1) nodes = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  const std::size_t ticks = fast ? 5 : 30;
+
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON_SHARD");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_shard_scaling.json";
+
+  constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+  std::vector<Sample> samples;
+  for (const std::size_t shards : kShardCounts) {
+    samples.push_back(time_world(nodes, shards, ticks));
+    std::cout << "shards=" << shards << "  ns_per_tick=" << samples.back().ns_per_tick
+              << "  active_links=" << samples.back().pairs
+              << "  speedup=" << samples.front().ns_per_tick / samples.back().ns_per_tick
+              << "x\n";
+  }
+
+  // Same world, same ticks: every row must have seen the same final link set.
+  for (const Sample& s : samples) {
+    if (s.pairs != samples.front().pairs) {
+      std::cerr << "shard_scaling: pair-count mismatch across shard counts — "
+                   "the sharded scan is not reproducing the serial one\n";
+      return 1;
+    }
+  }
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "shard_scaling: cannot write " << path << "\n";
+    return 1;
+  }
+  os << "{\n  \"schema\": \"dtnic.shard_scaling_bench.v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) os << ",\n";
+    os << "    {\"kernel\": \"sharded_contact_scan\", \"nodes\": " << nodes
+       << ", \"shards\": " << kShardCounts[i] << ", \"iterations\": " << ticks
+       << ", \"ns_per_tick\": " << samples[i].ns_per_tick
+       << ", \"pairs\": " << samples[i].pairs << "}";
+  }
+  os << "\n  ]\n}\n";
+  if (!os.flush()) {
+    std::cerr << "shard_scaling: write failed for " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -77,17 +77,29 @@ class CliObserver final : public scenario::RunObserver {
     }
   }
 
-  void on_finish(scenario::Scenario&, const scenario::RunResult&) override {
-    if (trace_) trace_->flush();
+  void on_finish(scenario::Scenario&, scenario::RunResult& result) override {
+    if (trace_) {
+      trace_->flush();
+      if (!trace_->ok()) {
+        result.artifact_errors.push_back("trace: write failed (truncated output)");
+      }
+    }
     if (!nodes_) return;
     std::ofstream os(node_stats_path_);
-    if (!os) throw std::runtime_error("cannot write node stats to " + node_stats_path_);
+    if (!os) {
+      result.artifact_errors.push_back("node_stats: cannot open " + node_stats_path_);
+      return;
+    }
     const bool json = node_stats_path_.size() >= 5 &&
                       node_stats_path_.compare(node_stats_path_.size() - 5, 5, ".json") == 0;
     if (json) {
       nodes_->write_json(os);
     } else {
       nodes_->write_csv(os);
+    }
+    os.flush();
+    if (!os.good()) {
+      result.artifact_errors.push_back("node_stats: write failed (truncated output)");
     }
   }
 
@@ -129,6 +141,11 @@ void write_manifest_file(const std::string& path, const scenario::ScenarioConfig
   };
   if (!trace_path.empty()) m.artifacts.emplace_back("trace", trace_path);
   if (!node_stats_path.empty()) m.artifacts.emplace_back("node_stats", node_stats_path);
+  for (const scenario::RunResult& r : agg.raw) {
+    for (const std::string& err : r.artifact_errors) {
+      m.artifact_errors.push_back("seed " + std::to_string(r.seed) + " " + err);
+    }
+  }
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot write manifest to " + path);
   obs::write_manifest(os, m);
@@ -271,6 +288,14 @@ int main(int argc, char** argv) {
 
   print_aggregate(std::cout, fmt, agg);
 
+  bool artifact_failure = false;
+  for (const scenario::RunResult& r : agg.raw) {
+    for (const std::string& err : r.artifact_errors) {
+      std::cerr << "artifact error (seed " << r.seed << "): " << err << "\n";
+      artifact_failure = true;
+    }
+  }
+
   if (!cli.get("manifest-out").empty()) {
     try {
       write_manifest_file(cli.get("manifest-out"), cfg, seeds, agg, trace_out, node_stats_out);
@@ -299,5 +324,7 @@ int main(int argc, char** argv) {
           .timing_report(agg.raw.front().timing);
     }
   }
-  return 0;
+  // A truncated artifact is a failed run even though the simulation itself
+  // finished; the manifest (if any) records the same errors.
+  return artifact_failure ? 1 : 0;
 }

@@ -39,7 +39,8 @@ std::int32_t SpatialGrid::coord(double v) const {
 /// followed by insertion sort of the tiny equal-a runs — far cheaper than a
 /// comparison sort of the effectively random pool-order input. Sparse id
 /// spaces fall back to std::sort on the packed key.
-void SpatialGrid::sort_pairs(std::vector<Pair>& v) const {
+void SpatialGrid::sort_pairs(std::vector<Pair>& v, std::vector<Pair>& scratch,
+                             std::vector<std::uint32_t>& offsets) const {
   const std::size_t n = v.size();
   if (n < 2) return;
   const std::size_t buckets = static_cast<std::size_t>(max_id_) + 2;
@@ -48,28 +49,28 @@ void SpatialGrid::sort_pairs(std::vector<Pair>& v) const {
               [](const Pair& lhs, const Pair& rhs) { return pair_key(lhs) < pair_key(rhs); });
     return;
   }
-  sort_offsets_.assign(buckets, 0);
-  for (const Pair& p : v) ++sort_offsets_[p.a.value() + 1];
-  for (std::size_t i = 1; i < buckets; ++i) sort_offsets_[i] += sort_offsets_[i - 1];
-  sort_scratch_.resize(n);
-  for (const Pair& p : v) sort_scratch_[sort_offsets_[p.a.value()]++] = p;
-  // After the scatter, sort_offsets_[a] is the end of a's run; order each
-  // run by b (runs hold the handful of neighbors one node has in range).
+  offsets.assign(buckets, 0);
+  for (const Pair& p : v) ++offsets[p.a.value() + 1];
+  for (std::size_t i = 1; i < buckets; ++i) offsets[i] += offsets[i - 1];
+  scratch.resize(n);
+  for (const Pair& p : v) scratch[offsets[p.a.value()]++] = p;
+  // After the scatter, offsets[a] is the end of a's run; order each run by
+  // b (runs hold the handful of neighbors one node has in range).
   std::size_t begin = 0;
   for (std::size_t a = 0; a + 1 < buckets; ++a) {
-    const std::size_t end = sort_offsets_[a];
+    const std::size_t end = offsets[a];
     for (std::size_t i = begin + 1; i < end; ++i) {
-      const Pair p = sort_scratch_[i];
+      const Pair p = scratch[i];
       std::size_t j = i;
-      while (j > begin && sort_scratch_[j - 1].b > p.b) {
-        sort_scratch_[j] = sort_scratch_[j - 1];
+      while (j > begin && scratch[j - 1].b > p.b) {
+        scratch[j] = scratch[j - 1];
         --j;
       }
-      sort_scratch_[j] = p;
+      scratch[j] = p;
     }
     begin = end;
   }
-  v.swap(sort_scratch_);
+  v.swap(scratch);
 }
 
 std::uint32_t SpatialGrid::cell_at(std::int32_t cx, std::int32_t cy) {
@@ -166,16 +167,22 @@ void SpatialGrid::update(util::NodeId id, util::Vec2 position) {
 }
 
 void SpatialGrid::update_slot(std::size_t slot, util::Vec2 position) {
+  if (stage_position(slot, position)) commit_move(slot);
+}
+
+bool SpatialGrid::stage_position(std::size_t slot, util::Vec2 position) {
   DTNIC_ASSERT(slot < slots_.size());
-  Slot& s = slots_[slot];
-  const std::int32_t cx = coord(position.x);
-  const std::int32_t cy = coord(position.y);
+  const Slot& s = slots_[slot];
   positions_[slot] = position;
-  // Same cell: the two dense writes above are the whole update — a low-churn
-  // scan tick streams through slots_/positions_ without touching the pool.
-  if (cx == s.cx && cy == s.cy) return;
+  // Same cell: the dense write above is the whole update — a low-churn scan
+  // tick streams through slots_/positions_ without touching the pool.
+  return coord(position.x) != s.cx || coord(position.y) != s.cy;
+}
+
+void SpatialGrid::commit_move(std::size_t slot) {
+  const util::Vec2 position = positions_[slot];
   unplace(static_cast<std::uint32_t>(slot));
-  place(static_cast<std::uint32_t>(slot), cell_at(cx, cy));
+  place(static_cast<std::uint32_t>(slot), cell_at(coord(position.x), coord(position.y)));
 }
 
 std::vector<util::NodeId> SpatialGrid::neighbors_of(util::Vec2 center, double radius,
@@ -199,7 +206,8 @@ std::vector<util::NodeId> SpatialGrid::neighbors_of(util::Vec2 center, double ra
   return out;
 }
 
-void SpatialGrid::pairs_within(double radius, std::vector<Pair>& out) const {
+template <typename CellFilter>
+void SpatialGrid::emit_pairs(double radius, std::vector<Pair>& out, CellFilter&& want_cell) const {
   DTNIC_REQUIRE_MSG(radius <= cell_size_, "query radius exceeds grid cell size");
   out.clear();
   const double r2 = radius * radius;
@@ -212,10 +220,13 @@ void SpatialGrid::pairs_within(double radius, std::vector<Pair>& out) const {
     out.push_back(Pair{lo, hi, std::sqrt(d2)});
   };
   // Freed pool entries keep count == 0, so one dense sweep visits exactly
-  // the live cells without consulting the hash map at all.
+  // the live cells without consulting the hash map at all. A cell emits its
+  // interior pairs plus all pairs against its half-neighborhood, so pair
+  // ownership follows cell ownership: each unordered pair is emitted by
+  // exactly one cell, and filtering cells partitions the pair set.
   for (const Cell& cell : pool_) {
     const std::uint32_t n = cell.count;
-    if (n == 0) continue;
+    if (n == 0 || !want_cell(cell)) continue;
     for (std::uint32_t i = 0; i < n; ++i) {
       const Entry& mine = entry_ref(cell, i);
       for (std::uint32_t j = i + 1; j < n; ++j) emit(mine, entry_ref(cell, j));
@@ -229,10 +240,24 @@ void SpatialGrid::pairs_within(double radius, std::vector<Pair>& out) const {
       }
     }
   }
+}
+
+void SpatialGrid::pairs_within(double radius, std::vector<Pair>& out) const {
+  emit_pairs(radius, out, [](const Cell&) { return true; });
   // Pool order leaks into the emission order above; sorting by (a, b) makes
   // the output — and every event sequence derived from it — independent of
   // layout and churn history.
-  sort_pairs(out);
+  sort_pairs(out, sort_scratch_, sort_offsets_);
+}
+
+void SpatialGrid::pairs_within_shard(double radius, std::uint32_t shard,
+                                     std::uint32_t shard_count, std::vector<Pair>& out,
+                                     SortScratch& scratch) const {
+  DTNIC_REQUIRE_MSG(shard < shard_count, "shard index out of range");
+  emit_pairs(radius, out, [shard, shard_count](const Cell& cell) {
+    return shard_of_cell(cell.cx, shard_count) == shard;
+  });
+  sort_pairs(out, scratch.pairs, scratch.offsets);
 }
 
 std::vector<SpatialGrid::Pair> SpatialGrid::pairs_within(double radius) const {

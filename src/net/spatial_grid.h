@@ -45,6 +45,16 @@ class SpatialGrid {
   /// Same as `update`, addressed by the slot handle `insert` returned.
   void update_slot(std::size_t slot, util::Vec2 position);
 
+  /// Two-phase variant of `update_slot` for sharded scans. `stage_position`
+  /// records the new position (the dense-array write only) and reports
+  /// whether the node's cell changed; it never touches the cell pool, so
+  /// distinct slots may be staged concurrently from different threads.
+  /// Every slot that returned true must then be passed to `commit_move`
+  /// serially — in ascending slot order for layout determinism — before the
+  /// next enumeration. stage+commit is exactly equivalent to `update_slot`.
+  [[nodiscard]] bool stage_position(std::size_t slot, util::Vec2 position);
+  void commit_move(std::size_t slot);
+
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
   /// Occupied cells only; empty cells are pruned, so this never exceeds
   /// size() no matter how far the population roams.
@@ -68,6 +78,33 @@ class SpatialGrid {
   void pairs_within(double radius, std::vector<Pair>& out) const;
   /// Convenience wrapper for tests and one-shot callers.
   [[nodiscard]] std::vector<Pair> pairs_within(double radius) const;
+
+  /// Per-caller sort buffers for `pairs_within_shard`. The single-threaded
+  /// `pairs_within` reuses member scratch; shard calls run concurrently, so
+  /// each shard owns one of these (reused across scans → allocation-free).
+  struct SortScratch {
+    std::vector<Pair> pairs;
+    std::vector<std::uint32_t> offsets;
+  };
+
+  /// Deterministic owner rule for sharded enumeration: a cell belongs to the
+  /// shard picked by its column, round-robin so K shards interleave columns
+  /// and stay balanced for any world extent. The owning cell emits all pairs
+  /// of its interior plus its half-neighborhood, so every unordered pair —
+  /// including cross-shard boundary pairs — is emitted by exactly one shard.
+  [[nodiscard]] static std::uint32_t shard_of_cell(std::int32_t cx, std::uint32_t shard_count) {
+    const auto k = static_cast<std::int32_t>(shard_count);
+    return static_cast<std::uint32_t>(((cx % k) + k) % k);
+  }
+
+  /// The subset of `pairs_within` whose emitting cell satisfies
+  /// shard_of_cell(cx, shard_count) == shard, sorted by (a, b). The union
+  /// over all shards equals `pairs_within` exactly (disjoint, no pair twice),
+  /// so a k-way merge of the per-shard lists reproduces the serial emission
+  /// bit for bit. Read-only on the grid; safe to call concurrently from one
+  /// thread per shard as long as each passes its own \p scratch.
+  void pairs_within_shard(double radius, std::uint32_t shard, std::uint32_t shard_count,
+                          std::vector<Pair>& out, SortScratch& scratch) const;
 
  private:
   /// Cells store only the id and the slot back-pointer; positions live in the
@@ -136,7 +173,12 @@ class SpatialGrid {
   /// Find-or-create the cell at (cx, cy); returns its pool index.
   std::uint32_t cell_at(std::int32_t cx, std::int32_t cy);
   /// Order pairs by (a, b); counting sort on dense ids, std::sort fallback.
-  void sort_pairs(std::vector<Pair>& v) const;
+  /// Scratch buffers are parameters so concurrent shard calls don't share.
+  void sort_pairs(std::vector<Pair>& v, std::vector<Pair>& scratch,
+                  std::vector<std::uint32_t>& offsets) const;
+  /// Emit every pair whose owning cell passes \p want_cell, unsorted.
+  template <typename CellFilter>
+  void emit_pairs(double radius, std::vector<Pair>& out, CellFilter&& want_cell) const;
   void place(std::uint32_t slot, std::uint32_t cell_index);
   /// Swap-remove the slot's entry from its cell; prunes the cell if emptied.
   void unplace(std::uint32_t slot);

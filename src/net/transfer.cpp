@@ -9,6 +9,15 @@ TransferManager::TransferManager(sim::Simulator& sim, double bitrate_bps)
   DTNIC_REQUIRE_MSG(bitrate_bps > 0.0, "bitrate must be positive");
 }
 
+TransferManager::~TransferManager() {
+  // The completion lambdas capture `this`; cancel them so a manager torn
+  // down mid-simulation (observer error paths, tests) leaves no event that
+  // would fire into freed memory.
+  for (auto& [key, link] : links_) {
+    if (link.in_flight) sim_.cancel(link.in_flight->completion);
+  }
+}
+
 std::uint64_t TransferManager::pair_key(NodeId a, NodeId b) {
   const auto lo = std::min(a.value(), b.value());
   const auto hi = std::max(a.value(), b.value());
@@ -16,10 +25,14 @@ std::uint64_t TransferManager::pair_key(NodeId a, NodeId b) {
 }
 
 void TransferManager::link_up(NodeId a, NodeId b) {
+  // emplace never overwrites: a duplicate link_up for a tracked pair keeps
+  // the existing LinkState — and with it any in-flight transfer — intact.
   links_.emplace(pair_key(a, b), LinkState{});
 }
 
 void TransferManager::link_down(NodeId a, NodeId b) {
+  // Unknown pair (already torn down, or never up): nothing to abort, and
+  // aborted_ must not move — abort accounting is idempotent.
   auto it = links_.find(pair_key(a, b));
   if (it == links_.end()) return;
   if (it->second.in_flight) {
@@ -32,6 +45,12 @@ void TransferManager::link_down(NodeId a, NodeId b) {
     return;
   }
   links_.erase(it);
+}
+
+std::size_t TransferManager::transfers_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [key, link] : links_) n += link.in_flight.has_value() ? 1 : 0;
+  return n;
 }
 
 bool TransferManager::link_exists(NodeId a, NodeId b) const {

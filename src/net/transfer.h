@@ -35,16 +35,29 @@ class TransferManager {
   using AbortFn = std::function<void(const Transfer&)>;
 
   TransferManager(sim::Simulator& sim, double bitrate_bps);
+  /// Cancels every pending completion event: those events capture `this`, so
+  /// letting them outlive the manager would fire into freed memory.
+  ~TransferManager();
+
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
 
   void on_complete(CompleteFn fn) { complete_ = std::move(fn); }
   void on_abort(AbortFn fn) { abort_ = std::move(fn); }
 
-  /// Contact lifecycle, driven by ConnectivityManager callbacks.
+  /// Contact lifecycle, driven by ConnectivityManager callbacks. Both are
+  /// idempotent: a duplicate link_up for a tracked pair is a no-op that
+  /// preserves any in-flight transfer (it must not reset the link), and a
+  /// duplicate link_down is a no-op that cannot abort twice — required once
+  /// boundary links can be reported by more than one contact source.
   void link_up(NodeId a, NodeId b);
   void link_down(NodeId a, NodeId b);
 
   [[nodiscard]] bool link_exists(NodeId a, NodeId b) const;
   [[nodiscard]] bool link_busy(NodeId a, NodeId b) const;
+  /// Links currently tracked / transfers currently in flight (leak checks).
+  [[nodiscard]] std::size_t links_tracked() const { return links_.size(); }
+  [[nodiscard]] std::size_t transfers_in_flight() const;
 
   /// Begin a transfer; returns false if the link is absent or busy.
   bool start(NodeId from, NodeId to, MessageId message, std::uint64_t bytes);

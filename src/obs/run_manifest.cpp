@@ -113,7 +113,17 @@ void write_manifest(std::ostream& os, const RunManifest& manifest) {
     append_string(out, path);
   }
   if (!first) out += "\n  ";
-  out += "}\n}\n";
+  out += '}';
+  if (!manifest.artifact_errors.empty()) {
+    out += ",\n  \"artifact_errors\": [";
+    for (std::size_t i = 0; i < manifest.artifact_errors.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "\n    ";
+      append_string(out, manifest.artifact_errors[i]);
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
   os << out;
 }
 

@@ -31,6 +31,10 @@ struct RunManifest {
   std::vector<std::pair<std::string, double>> timings_ms;  ///< phase wall-clock
   /// Paths of sibling artifacts (trace, node stats), keyed by kind.
   std::vector<std::pair<std::string, std::string>> artifacts;
+  /// Artifact write failures ("<artifact>: <what failed>"). Emitted as the
+  /// "artifact_errors" array; non-empty means a sibling file is truncated
+  /// and the manifest is the only trustworthy record of the run.
+  std::vector<std::string> artifact_errors;
 };
 
 void write_manifest(std::ostream& os, const RunManifest& manifest);

@@ -33,7 +33,10 @@ TraceSink::TraceSink(std::unique_ptr<std::ostream> os, TraceOptions options)
 
 TraceSink::~TraceSink() { flush(); }
 
-void TraceSink::flush() { os_->flush(); }
+void TraceSink::flush() {
+  os_->flush();
+  if (!os_->good()) ok_ = false;
+}
 
 void TraceSink::write_header() {
   buf_.clear();
@@ -64,6 +67,7 @@ void TraceSink::begin(const char* name) {
 void TraceSink::commit() {
   buf_ += "}\n";
   os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  if (!os_->good()) ok_ = false;  // latch: a truncated trace is never "ok"
   ++records_;
 }
 

@@ -73,7 +73,11 @@ class TraceSink final : public routing::RoutingEvents {
 
   /// Records written so far, including the header record.
   [[nodiscard]] std::uint64_t records() const { return records_; }
+  /// Flush and check the stream. Returns false — permanently — once any
+  /// write or flush failed (disk full, closed pipe): a truncated trace must
+  /// not pass for a complete `dtnic.trace.v1` artifact.
   void flush();
+  [[nodiscard]] bool ok() const { return ok_ && os_->good(); }
 
   // --- RoutingEvents -------------------------------------------------------
   void on_created(const msg::Message& m) override;
@@ -107,6 +111,7 @@ class TraceSink final : public routing::RoutingEvents {
   std::ostream* os_;
   TraceOptions opt_;
   std::string buf_;
+  bool ok_ = true;  ///< latches false on the first failed write/flush
   std::uint64_t records_ = 0;
   std::array<std::uint32_t, kTraceEventKinds> seen_of_type_{};
 };

@@ -119,6 +119,11 @@ struct ScenarioConfig {
   double ttl_sweep_interval_s = 600.0;
   double sample_interval_s = 1800.0;  ///< metric time-series sampling
 
+  /// Intra-run shard threads for the contact scan (see DESIGN.md "Intra-run
+  /// sharding"). 1 = fully serial; 0 = one shard per hardware thread. Output
+  /// is bit-identical for every value, so this is purely a speed knob.
+  std::size_t shard_threads = 1;
+
   std::uint64_t seed = 1;
 
   /// Validate invariants; throws std::invalid_argument on nonsense.

@@ -1,10 +1,12 @@
 #include "scenario/config_io.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <type_traits>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -87,6 +89,7 @@ const std::map<std::string, Field>& registry() {
     add_double("scan_interval_s", &ScenarioConfig::scan_interval_s);
     add_double("ttl_sweep_interval_s", &ScenarioConfig::ttl_sweep_interval_s);
     add_double("sample_interval_s", &ScenarioConfig::sample_interval_s);
+    add_size("shard_threads", &ScenarioConfig::shard_threads);
     f["seed"] = Field{[](const ScenarioConfig& c) { return std::to_string(c.seed); },
                       [](ScenarioConfig& c, const std::string& v) {
                         c.seed = static_cast<std::uint64_t>(util::parse_int(v));
@@ -205,6 +208,41 @@ const std::map<std::string, Field>& registry() {
   return fields;
 }
 
+/// Levenshtein distance, single-row DP; key names are short so this is cheap.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest registered key, or empty when nothing is plausibly close (more
+/// than a third of the key would have to change).
+std::string closest_key(const std::string& key) {
+  std::string best;
+  std::size_t best_dist = std::max<std::size_t>(2, key.size() / 3) + 1;
+  for (const auto& [candidate, field] : registry()) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (d < best_dist) {
+      best_dist = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string at_line(int line) {
+  return line > 0 ? " (line " + std::to_string(line) + ")" : "";
+}
+
 }  // namespace
 
 Scheme parse_scheme(const std::string& name) {
@@ -226,9 +264,20 @@ ScenarioConfig apply_config(ScenarioConfig base, const util::Config& kv) {
   for (const auto& [key, value] : kv.entries()) {
     auto it = fields.find(key);
     if (it == fields.end()) {
-      throw std::invalid_argument("unknown scenario config key: '" + key + "'");
+      std::string msg = "unknown scenario config key: '" + key + "'" + at_line(kv.line_of(key));
+      if (const std::string hint = closest_key(key); !hint.empty()) {
+        msg += " — did you mean '" + hint + "'?";
+      }
+      throw std::invalid_argument(msg);
     }
-    it->second.read(base, value);
+    try {
+      it->second.read(base, value);
+    } catch (const std::exception& e) {
+      // Re-throw with the offending key (and source line when file-sourced)
+      // so a bad value is attributable without bisecting the config.
+      throw std::invalid_argument("config key '" + key + "'" + at_line(kv.line_of(key)) +
+                                  ": " + e.what());
+    }
   }
   base.validate();
   return base;

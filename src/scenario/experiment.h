@@ -32,8 +32,11 @@ class Scenario;
 class RunObserver {
  public:
   virtual ~RunObserver() = default;
-  /// Called after run() completes, while the Scenario is still alive.
-  virtual void on_finish(Scenario& scenario, const RunResult& result) { (void)scenario; (void)result; }
+  /// Called after run() completes, while the Scenario is still alive. The
+  /// result is mutable so observers can surface artifact-write failures
+  /// (result.artifact_errors) — a truncated trace or stats file must be
+  /// visible in the run's own record, not just on stderr.
+  virtual void on_finish(Scenario& scenario, RunResult& result) { (void)scenario; (void)result; }
 };
 
 /// Invoked once per seeded run, on the run's worker thread, after the

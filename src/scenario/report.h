@@ -64,6 +64,14 @@ class Reporter {
 
   [[nodiscard]] ReportFormat format() const { return fmt_; }
 
+  /// Flush and report whether every section so far reached the stream. A
+  /// false return means the report file is truncated (disk full, broken
+  /// pipe) and must not be treated as a complete artifact.
+  [[nodiscard]] bool flush_ok() {
+    os_.flush();
+    return os_.good();
+  }
+
  private:
   /// Table/CSV fallthrough for sections built as a util::Table.
   void emit_table(const util::Table& table);

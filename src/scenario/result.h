@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stats/time_series.h"
 
@@ -70,6 +71,12 @@ struct RunResult {
 
   // Per-phase wall-clock cost of this run (not a simulation output).
   PhaseTimings timing;
+
+  /// Artifact I/O failures (trace/report/stats streams that went bad while
+  /// this run was being written out). Empty = every artifact is complete.
+  /// Observers append "<artifact>: <what failed>" entries; the run manifest
+  /// echoes them so a truncated file can never pass for a successful run.
+  std::vector<std::string> artifact_errors;
 
   // Fig. 5.4: average rating of malicious nodes at non-malicious nodes.
   stats::TimeSeries malicious_rating;

@@ -19,6 +19,7 @@
 #include "util/assert.h"
 #include "util/logging.h"
 #include "util/summary.h"
+#include "util/thread_pool.h"
 #include "util/timing.h"
 
 namespace dtnic::scenario {
@@ -136,8 +137,10 @@ void Scenario::build() {
 
   net::ConnectivityManager* manager = nullptr;
   if (cfg_.contact_trace_file.empty()) {
+    const std::size_t shards =
+        cfg_.shard_threads == 0 ? util::ThreadPool::default_thread_count() : cfg_.shard_threads;
     auto owned = std::make_unique<net::ConnectivityManager>(
-        sim_, cfg_.radio, SimTime::seconds(cfg_.scan_interval_s));
+        sim_, cfg_.radio, SimTime::seconds(cfg_.scan_interval_s), shards);
     manager = owned.get();
     connectivity_ = manager;
     contacts_ = std::move(owned);

@@ -31,7 +31,7 @@ Config Config::parse(const std::string& text) {
       if (key.empty()) {
         throw std::invalid_argument("config line " + std::to_string(line_no) + ": empty key");
       }
-      cfg.set(key, value);
+      cfg.set(key, value, line_no);
     }
   }
   return cfg;
@@ -45,7 +45,19 @@ Config Config::load_file(const std::string& path) {
   return parse(buffer.str());
 }
 
-void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+void Config::set(const std::string& key, const std::string& value, int line) {
+  values_[key] = value;
+  if (line > 0) {
+    lines_[key] = line;
+  } else {
+    lines_.erase(key);  // the latest (programmatic) source wins
+  }
+}
+
+int Config::line_of(const std::string& key) const {
+  const auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
+}
 
 bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -75,7 +87,7 @@ bool Config::get_bool(const std::string& key, bool dflt) const {
 }
 
 void Config::merge(const Config& other) {
-  for (const auto& [k, v] : other.values_) values_[k] = v;
+  for (const auto& [k, v] : other.values_) set(k, v, other.line_of(k));
 }
 
 }  // namespace dtnic::util

@@ -24,10 +24,14 @@ class Config {
   /// Load from a file; throws std::runtime_error if unreadable.
   [[nodiscard]] static Config load_file(const std::string& path);
 
-  void set(const std::string& key, const std::string& value);
+  /// \p line is the 1-based source line for error reporting; 0 (the default)
+  /// means "not from a file" (programmatic set, CLI override).
+  void set(const std::string& key, const std::string& value, int line = 0);
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  /// Source line recorded for \p key; 0 when unknown or not file-sourced.
+  [[nodiscard]] int line_of(const std::string& key) const;
 
   /// Typed getters with defaults; throw std::invalid_argument when the value
   /// exists but cannot be parsed as the requested type.
@@ -43,6 +47,7 @@ class Config {
 
  private:
   std::map<std::string, std::string> values_;
+  std::map<std::string, int> lines_;  ///< 1-based source line per key (if any)
 };
 
 }  // namespace dtnic::util

@@ -24,19 +24,38 @@ class SimTime {
   [[nodiscard]] static constexpr SimTime infinity() {
     return SimTime(std::numeric_limits<double>::infinity());
   }
+  /// The instant that never arrives — an unlimited TTL's expiry. Alias of
+  /// infinity(); reads better at call sites comparing against deadlines.
+  [[nodiscard]] static constexpr SimTime never() { return infinity(); }
 
   [[nodiscard]] constexpr double sec() const { return seconds_; }
   [[nodiscard]] constexpr bool finite() const { return std::isfinite(seconds_); }
 
   friend constexpr auto operator<=>(SimTime, SimTime) = default;
 
-  constexpr SimTime& operator+=(SimTime d) { seconds_ += d.seconds_; return *this; }
-  constexpr SimTime& operator-=(SimTime d) { seconds_ -= d.seconds_; return *this; }
+  // Arithmetic is NaN-safe for the infinity cases IEEE 754 leaves undefined:
+  // never() - never() and never() * 0.0 would produce NaN, and NaN poisons
+  // every ordered comparison (deadline checks silently become false). Those
+  // two cases resolve to the identity instead — scaling a never-deadline or
+  // differencing two of them still means "never"/"no time elapsed". Checks
+  // use v != v rather than std::isnan, which is not constexpr-friendly here.
 
-  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.seconds_ + b.seconds_); }
-  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.seconds_ - b.seconds_); }
-  friend constexpr SimTime operator*(SimTime a, double k) { return SimTime(a.seconds_ * k); }
-  friend constexpr SimTime operator*(double k, SimTime a) { return SimTime(a.seconds_ * k); }
+  constexpr SimTime& operator+=(SimTime d) { return *this = *this + d; }
+  constexpr SimTime& operator-=(SimTime d) { return *this = *this - d; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    const double v = a.seconds_ + b.seconds_;
+    return SimTime(v != v ? 0.0 : v);  // inf + (-inf): no net displacement
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    const double v = a.seconds_ - b.seconds_;
+    return SimTime(v != v ? 0.0 : v);  // never() - never(): nothing elapsed
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    const double v = a.seconds_ * k;
+    return SimTime(v != v && k == 0.0 ? 0.0 : v);  // never() * 0 is zero time
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
   friend constexpr SimTime operator/(SimTime a, double k) { return SimTime(a.seconds_ / k); }
   /// Ratio of two durations (dimensionless).
   friend constexpr double operator/(SimTime a, SimTime b) { return a.seconds_ / b.seconds_; }

@@ -1,9 +1,22 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 namespace dtnic::util {
+
+namespace {
+
+/// from_chars does not skip leading '+' (unlike strtod); accept it here so
+/// "+1.5" keeps working, without admitting "+-1" or a bare "+".
+[[nodiscard]] std::string_view strip_plus(std::string_view t) {
+  if (t.size() > 1 && t.front() == '+' && t[1] != '-' && t[1] != '+') t.remove_prefix(1);
+  return t;
+}
+
+}  // namespace
 
 std::string trim(std::string_view s) {
   std::size_t begin = 0;
@@ -33,25 +46,31 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 }
 
 double parse_double(const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (trim(s.substr(pos)) != "") throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  const std::string trimmed = trim(s);
+  const std::string_view t = strip_plus(trimmed);
+  double v{};
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (t.empty() || ec == std::errc::invalid_argument || ptr != t.data() + t.size()) {
     throw std::invalid_argument("not a number: '" + s + "'");
   }
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("number out of range: '" + s + "'");
+  }
+  return v;
 }
 
 long long parse_int(const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const long long v = std::stoll(s, &pos);
-    if (trim(s.substr(pos)) != "") throw std::invalid_argument("trailing characters");
-    return v;
-  } catch (const std::exception&) {
+  const std::string trimmed = trim(s);
+  const std::string_view t = strip_plus(trimmed);
+  long long v{};
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (t.empty() || ec == std::errc::invalid_argument || ptr != t.data() + t.size()) {
     throw std::invalid_argument("not an integer: '" + s + "'");
   }
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("integer out of range: '" + s + "'");
+  }
+  return v;
 }
 
 bool parse_bool(const std::string& s) {

@@ -19,6 +19,10 @@ namespace dtnic::util {
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
 
 /// Parse helpers; throw std::invalid_argument with context on bad input.
+/// Numeric parsing uses std::from_chars: locale-independent (a German locale
+/// cannot flip the decimal separator) and strict — surrounding whitespace is
+/// tolerated, any other trailing garbage ("1.5x", "3,5") is rejected instead
+/// of silently truncated.
 [[nodiscard]] double parse_double(const std::string& s);
 [[nodiscard]] long long parse_int(const std::string& s);
 [[nodiscard]] bool parse_bool(const std::string& s);

@@ -131,6 +131,19 @@ TEST(Message, TtlExpiry) {
   EXPECT_TRUE(m.expired(SimTime::seconds(151)));
 }
 
+TEST(Message, ExplicitInfiniteTtlNeverExpires) {
+  // An explicit never() TTL must behave exactly like the default: in
+  // particular expired() must not evaluate created_at + inf (or worse,
+  // inf - inf) into a comparison that misfires. Regression for the SimTime
+  // infinity-arithmetic guards.
+  Message m(MessageId(1), NodeId(0), SimTime::seconds(100), kMB, Priority::kLow, 0.5);
+  m.set_ttl(SimTime::never());
+  EXPECT_FALSE(m.ttl().finite());
+  EXPECT_FALSE(m.expired(SimTime::seconds(100)));
+  EXPECT_FALSE(m.expired(SimTime::hours(1e12)));
+  EXPECT_FALSE(m.expired(SimTime::infinity()));
+}
+
 TEST(Message, HopRecording) {
   Message m = make(MessageId(1), kMB, NodeId(0));
   m.record_hop(NodeId(1), SimTime::seconds(10));
@@ -337,6 +350,20 @@ TEST(MessageBuffer, DropExpiredReturnsDropped) {
   EXPECT_EQ(dropped[0].id(), MessageId(2));
   EXPECT_TRUE(buf.contains(MessageId(1)));
   EXPECT_EQ(buf.used_bytes(), kMB);
+}
+
+TEST(MessageBuffer, DropExpiredKeepsExplicitInfiniteTtl) {
+  MessageBuffer buf(10 * kMB);
+  Message forever = make(MessageId(1));
+  forever.set_ttl(SimTime::never());
+  Message stale = make(MessageId(2));
+  stale.set_ttl(SimTime::seconds(10));
+  (void)buf.add(std::move(forever));
+  (void)buf.add(std::move(stale));
+  const auto dropped = buf.drop_expired(SimTime::hours(1e9));
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].id(), MessageId(2));
+  EXPECT_TRUE(buf.contains(MessageId(1)));
 }
 
 TEST(MessageBuffer, MessagesInInsertionOrder) {

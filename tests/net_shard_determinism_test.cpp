@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "net/connectivity.h"
+#include "net/spatial_grid.h"
+#include "obs/trace_sink.h"
+#include "scenario/report.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+/// Sharded-vs-serial bit-identity (the PR 6 tentpole's contract): the
+/// per-shard pair enumeration merged by (a, b) must reproduce the serial
+/// emission exactly, and a whole scenario run with any shard_threads value
+/// must produce byte-identical reports and traces. Styled after
+/// experiment_parallel_test.cpp: EXPECT_EQ on doubles, no tolerance.
+
+namespace dtnic::net {
+namespace {
+
+using util::NodeId;
+using util::SimTime;
+using util::Vec2;
+
+/// Deterministic "anywhere in the world, every tick" movement: a hash of
+/// (salt, tick) picks a fresh position each second, including negative
+/// coordinates, so nodes cross cell columns — and therefore shard owners —
+/// on every single scan. Worst case for the boundary handshake.
+class TeleportMobility final : public mobility::MobilityModel {
+ public:
+  TeleportMobility(std::uint64_t salt, double extent) : salt_(salt), extent_(extent) {}
+
+  Vec2 position_at(SimTime t) override {
+    const auto tick = static_cast<std::uint64_t>(t.sec());
+    const std::uint64_t h = mix(salt_ * 0x9e3779b97f4a7c15ull + tick);
+    const double x = to_unit(h) * 2.0 * extent_ - extent_;
+    const double y = to_unit(mix(h)) * 2.0 * extent_ - extent_;
+    return {x, y};
+  }
+  double max_speed() const override { return 1e9; }  // teleportation
+
+ private:
+  static std::uint64_t mix(std::uint64_t v) {
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ull;
+    return v ^ (v >> 33);
+  }
+  static double to_unit(std::uint64_t v) {
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t salt_;
+  double extent_;
+};
+
+void expect_pairs_equal(const std::vector<SpatialGrid::Pair>& a,
+                        const std::vector<SpatialGrid::Pair>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_EQ(a[i].distance_m, b[i].distance_m);  // bit-identical
+  }
+}
+
+TEST(GridSharding, ShardUnionEqualsSerialEmission) {
+  SpatialGrid grid(100.0);
+  util::Rng rng(42);
+  // Cluster around the origin so negative cell coordinates (and hence the
+  // sign-correct owner rule) are exercised, at well above one node per cell.
+  for (std::uint32_t id = 0; id < 400; ++id) {
+    grid.insert(NodeId(id), {rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0)});
+  }
+  std::vector<SpatialGrid::Pair> serial;
+  grid.pairs_within(100.0, serial);
+  ASSERT_GT(serial.size(), 100u);
+
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    std::vector<SpatialGrid::Pair> merged;
+    SpatialGrid::SortScratch scratch;
+    std::vector<SpatialGrid::Pair> shard_pairs;
+    // Shard lists are disjoint and each sorted; a concatenation + one sort
+    // by (a, b) equals the k-way merge the connectivity manager performs.
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      grid.pairs_within_shard(100.0, s, shards, shard_pairs, scratch);
+      merged.insert(merged.end(), shard_pairs.begin(), shard_pairs.end());
+    }
+    std::sort(merged.begin(), merged.end(), [](const auto& lhs, const auto& rhs) {
+      return lhs.a != rhs.a ? lhs.a < rhs.a : lhs.b < rhs.b;
+    });
+    expect_pairs_equal(serial, merged);
+  }
+}
+
+TEST(GridSharding, StageCommitEquivalentToUpdate) {
+  SpatialGrid staged(50.0);
+  SpatialGrid direct(50.0);
+  util::Rng rng(7);
+  for (std::uint32_t id = 0; id < 120; ++id) {
+    const Vec2 p{rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)};
+    staged.insert(NodeId(id), p);
+    direct.insert(NodeId(id), p);
+  }
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::size_t> crossers;
+    for (std::size_t slot = 0; slot < 120; ++slot) {
+      const Vec2 p{rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)};
+      direct.update_slot(slot, p);
+      if (staged.stage_position(slot, p)) crossers.push_back(slot);
+    }
+    for (const std::size_t slot : crossers) staged.commit_move(slot);
+    expect_pairs_equal(direct.pairs_within(50.0), staged.pairs_within(50.0));
+    EXPECT_EQ(direct.cell_count(), staged.cell_count());
+  }
+}
+
+struct LinkEvent {
+  bool up;
+  NodeId a;
+  NodeId b;
+  double time_s;
+
+  bool operator==(const LinkEvent&) const = default;
+};
+
+/// Run `scans` ticks of a teleport-heavy world under `shard_threads` shards
+/// and record every link event in order.
+std::vector<LinkEvent> run_teleport_world(std::size_t shard_threads, std::size_t nodes,
+                                          std::size_t scans) {
+  sim::Simulator sim;
+  RadioParams radio;  // 100 m range
+  ConnectivityManager manager(sim, radio, SimTime::seconds(1.0), shard_threads);
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    // Tight extent: plenty of contacts forming and breaking every tick.
+    models.push_back(std::make_unique<TeleportMobility>(i + 1, 250.0));
+    manager.add_node(NodeId(static_cast<std::uint32_t>(i)), models.back().get());
+  }
+  std::vector<LinkEvent> events;
+  manager.on_link_up([&](NodeId a, NodeId b, double) {
+    events.push_back({true, a, b, sim.now().sec()});
+  });
+  manager.on_link_down(
+      [&](NodeId a, NodeId b) { events.push_back({false, a, b, sim.now().sec()}); });
+  manager.start();
+  sim.run_until(SimTime::seconds(static_cast<double>(scans)));
+  return events;
+}
+
+TEST(ConnectivitySharding, TeleportChurnLinkEventsBitIdenticalAcrossShardCounts) {
+  const std::vector<LinkEvent> serial = run_teleport_world(1, 96, 20);
+  ASSERT_GT(serial.size(), 50u);  // the workload really is churn-heavy
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_teleport_world(shards, 96, 20), serial) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace dtnic::net
+
+namespace dtnic::scenario {
+namespace {
+
+struct RunArtifacts {
+  RunResult result;
+  std::string trace;
+  std::string report;
+};
+
+/// One seeded fig55-style scenario run (incentive scheme, mixed behaviors)
+/// with a full trace and a JSON report captured in memory.
+RunArtifacts run_sharded_scenario(std::size_t shard_threads, Scheme scheme) {
+  ScenarioConfig cfg = ScenarioConfig::scaled_defaults(40, 0.5);
+  cfg.scheme = scheme;
+  cfg.selfish_fraction = 0.2;
+  cfg.malicious_fraction = 0.1;
+  cfg.sample_interval_s = 300.0;
+  cfg.shard_threads = shard_threads;
+
+  Scenario s(cfg);
+  std::ostringstream trace_os;
+  obs::TraceOptions opt;
+  opt.clock = [&sim = s.simulator()] { return sim.now(); };
+  opt.seed = cfg.seed;
+  opt.scheme = scheme_name(scheme);
+  obs::TraceSink sink(trace_os, std::move(opt));
+  const obs::SinkHandle handle = s.events().add_sink(sink);
+
+  RunArtifacts out;
+  out.result = s.run();
+  sink.flush();
+  out.trace = trace_os.str();
+
+  std::ostringstream report_os;
+  Reporter reporter(report_os, ReportFormat::kJson);
+  reporter.run_report(out.result);
+  out.report = report_os.str();
+  return out;
+}
+
+TEST(ScenarioSharding, ReportsAndTracesByteIdenticalAcrossShardCounts) {
+  for (const Scheme scheme : {Scheme::kIncentive, Scheme::kChitChat}) {
+    const RunArtifacts serial = run_sharded_scenario(1, scheme);
+    ASSERT_GT(serial.result.created, 0u);
+    ASSERT_GT(serial.trace.size(), 100u);
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      const RunArtifacts sharded = run_sharded_scenario(shards, scheme);
+      EXPECT_EQ(sharded.trace, serial.trace) << "shards=" << shards;
+      EXPECT_EQ(sharded.report, serial.report) << "shards=" << shards;
+      EXPECT_EQ(sharded.result.mdr, serial.result.mdr);
+      EXPECT_EQ(sharded.result.traffic, serial.result.traffic);
+      EXPECT_EQ(sharded.result.contacts, serial.result.contacts);
+      EXPECT_EQ(sharded.result.tokens_paid, serial.result.tokens_paid);
+      EXPECT_EQ(sharded.result.avg_final_tokens, serial.result.avg_final_tokens);
+    }
+  }
+}
+
+TEST(ScenarioSharding, AutoShardCountRunsAndStaysConsistent) {
+  // shard_threads = 0 resolves to the hardware thread count; whatever that
+  // is on the host, the output contract is the same.
+  const RunArtifacts serial = run_sharded_scenario(1, Scheme::kIncentive);
+  const RunArtifacts any = run_sharded_scenario(0, Scheme::kIncentive);
+  EXPECT_EQ(any.trace, serial.trace);
+  EXPECT_EQ(any.report, serial.report);
+}
+
+}  // namespace
+}  // namespace dtnic::scenario

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/transfer.h"
+#include "sim/simulator.h"
+
+/// Link lifecycle edge cases for TransferManager (PR 6 satellite): duplicate
+/// link_up must not reset an in-flight transfer, duplicate link_down must
+/// not double-abort or disturb abort accounting, and a manager destroyed
+/// with transfers still in flight must cancel its completion events instead
+/// of leaving them to fire into freed memory.
+
+namespace dtnic::net {
+namespace {
+
+using util::MessageId;
+using util::NodeId;
+using util::SimTime;
+
+class TransferLifecycle : public ::testing::Test {
+ protected:
+  TransferLifecycle() : manager(sim, 1000.0) {  // 1000 B/s: 1000 B = 1 s
+    manager.on_complete([this](const TransferManager::Transfer& t, SimTime) {
+      completed.push_back(t.message);
+    });
+    manager.on_abort(
+        [this](const TransferManager::Transfer& t) { aborted.push_back(t.message); });
+  }
+
+  sim::Simulator sim;
+  TransferManager manager;
+  std::vector<MessageId> completed;
+  std::vector<MessageId> aborted;
+
+  const NodeId a{1};
+  const NodeId b{2};
+};
+
+TEST_F(TransferLifecycle, DuplicateLinkUpPreservesInFlightTransfer) {
+  manager.link_up(a, b);
+  ASSERT_TRUE(manager.start(a, b, MessageId(7), 1000));
+  ASSERT_TRUE(manager.link_busy(a, b));
+
+  // A second link_up for the tracked pair (boundary handoff, overlapping
+  // contact sources) must be a no-op, not a fresh LinkState.
+  manager.link_up(a, b);
+  EXPECT_TRUE(manager.link_busy(a, b));
+  EXPECT_EQ(manager.transfers_in_flight(), 1u);
+
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(completed, std::vector<MessageId>{MessageId(7)});
+  EXPECT_TRUE(aborted.empty());
+  EXPECT_EQ(manager.transfers_completed(), 1u);
+}
+
+TEST_F(TransferLifecycle, DuplicateLinkDownAbortsExactlyOnce) {
+  manager.link_up(a, b);
+  ASSERT_TRUE(manager.start(a, b, MessageId(9), 1000));
+
+  manager.link_down(a, b);
+  manager.link_down(a, b);  // duplicate: nothing left to abort
+  manager.link_down(b, a);  // reversed endpoints hit the same pair key
+
+  EXPECT_EQ(aborted, std::vector<MessageId>{MessageId(9)});
+  EXPECT_EQ(manager.transfers_aborted(), 1u);
+  EXPECT_EQ(manager.links_tracked(), 0u);
+  EXPECT_EQ(manager.transfers_in_flight(), 0u);
+
+  // The canceled completion event must not fire later.
+  sim.run_until(SimTime::seconds(5.0));
+  EXPECT_TRUE(completed.empty());
+  EXPECT_EQ(manager.transfers_completed(), 0u);
+}
+
+TEST_F(TransferLifecycle, LinkDownForUnknownPairIsANoOp) {
+  manager.link_down(a, b);  // never up
+  EXPECT_EQ(manager.transfers_aborted(), 0u);
+  EXPECT_TRUE(aborted.empty());
+
+  manager.link_up(a, b);
+  manager.link_down(a, b);
+  manager.link_down(a, b);  // already torn down
+  EXPECT_EQ(manager.transfers_aborted(), 0u);  // idle link: no abort either
+  EXPECT_EQ(manager.links_tracked(), 0u);
+}
+
+TEST_F(TransferLifecycle, StartRefusedWhileBusyAndAfterDown) {
+  manager.link_up(a, b);
+  ASSERT_TRUE(manager.start(a, b, MessageId(1), 500));
+  EXPECT_FALSE(manager.start(a, b, MessageId(2), 500));  // one at a time
+  manager.link_down(a, b);
+  EXPECT_FALSE(manager.start(a, b, MessageId(3), 500));  // link gone
+  EXPECT_EQ(manager.transfers_started(), 1u);
+}
+
+TEST(TransferManagerTeardown, DestructorCancelsPendingCompletionEvents) {
+  sim::Simulator sim;
+  bool fired = false;
+  {
+    TransferManager manager(sim, 1000.0);
+    manager.on_complete([&fired](const TransferManager::Transfer&, SimTime) { fired = true; });
+    manager.link_up(NodeId(1), NodeId(2));
+    ASSERT_TRUE(manager.start(NodeId(1), NodeId(2), MessageId(4), 1000));
+    EXPECT_EQ(manager.transfers_in_flight(), 1u);
+  }
+  // The manager died with the transfer in flight; its scheduled completion
+  // captured `this` and must have been canceled, not left to fire.
+  sim.run_until(SimTime::seconds(5.0));
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace dtnic::net

@@ -14,6 +14,7 @@
 #include "obs/trace_sink.h"
 #include "scenario/config.h"
 #include "scenario/experiment.h"
+#include "scenario/report.h"
 #include "scenario/scenario.h"
 #include "stats/metrics.h"
 #include "test_helpers.h"
@@ -288,6 +289,44 @@ TEST(TraceSink, FiltersAndSamples) {
   EXPECT_EQ(out.find("\"amount\":1}"), std::string::npos);
 }
 
+TEST(TraceSink, SurfacesStreamFailure) {
+  std::ostringstream os;
+  obs::TraceOptions opt;
+  opt.clock = [] { return SimTime::zero(); };
+  obs::TraceSink sink(os, opt);
+  EXPECT_TRUE(sink.ok());
+
+  sink.on_tokens_paid(NodeId(0), NodeId(1), 1.0);
+  sink.flush();
+  EXPECT_TRUE(sink.ok());
+
+  // Disk full / closed pipe: the stream starts failing mid-run. The sink must
+  // report it rather than silently truncating the trace.
+  os.setstate(std::ios::failbit);
+  sink.on_tokens_paid(NodeId(0), NodeId(1), 2.0);
+  sink.flush();
+  EXPECT_FALSE(sink.ok());
+
+  // Latched: a stream that recovers does not un-report the lost records.
+  os.clear();
+  sink.flush();
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(Reporter, FlushOkReflectsStreamState) {
+  std::ostringstream os;
+  scenario::Reporter good(os, scenario::ReportFormat::kJson);
+  scenario::RunResult r;
+  r.created = 1;
+  good.run_report(r);
+  EXPECT_TRUE(good.flush_ok());
+
+  os.setstate(std::ios::badbit);
+  scenario::Reporter bad(os, scenario::ReportFormat::kJson);
+  bad.run_report(r);
+  EXPECT_FALSE(bad.flush_ok());
+}
+
 // --- trace replay ------------------------------------------------------------
 
 TEST(TraceReplay, ReproducesLiveMetricsExactly) {
@@ -438,6 +477,23 @@ TEST(RunManifest, WritesSchemaAndConfigEcho) {
   EXPECT_NE(text.find("\"trace\": \"out/trace.jsonl\""), std::string::npos);
 }
 
+TEST(RunManifest, EchoesArtifactErrors) {
+  obs::RunManifest m;
+  m.tool = "obs_test";
+  std::ostringstream clean;
+  obs::write_manifest(clean, m);
+  EXPECT_EQ(clean.str().find("artifact_errors"), std::string::npos);
+
+  m.artifact_errors = {"trace: write failed (truncated output)",
+                       "node_stats: cannot open out/stats.json"};
+  std::ostringstream os;
+  obs::write_manifest(os, m);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"artifact_errors\""), std::string::npos);
+  EXPECT_NE(text.find("trace: write failed (truncated output)"), std::string::npos);
+  EXPECT_NE(text.find("node_stats: cannot open out/stats.json"), std::string::npos);
+}
+
 // --- per-run observers -------------------------------------------------------
 
 TEST(ExperimentObserver, FactoryRunsOncePerSeed) {
@@ -449,7 +505,7 @@ TEST(ExperimentObserver, FactoryRunsOncePerSeed) {
 
   struct CountingObserver final : scenario::RunObserver {
     explicit CountingObserver(std::atomic<int>& finished) : finished_(finished) {}
-    void on_finish(scenario::Scenario&, const scenario::RunResult& result) override {
+    void on_finish(scenario::Scenario&, scenario::RunResult& result) override {
       EXPECT_GT(result.created, 0u);
       finished_.fetch_add(1);
     }

@@ -50,6 +50,67 @@ TEST(ConfigIo, InvalidValueThrows) {
                std::invalid_argument);
 }
 
+TEST(ConfigIo, UnknownKeySuggestsClosestMatch) {
+  // A near-miss key gets a "did you mean" hint with the real key name...
+  try {
+    (void)apply_config(ScenarioConfig::paper_defaults(), util::Config::parse("nodez = 42\n"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nodez"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'nodes'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+  // ...while a key nothing like any real one gets no misleading hint.
+  try {
+    (void)apply_config(ScenarioConfig::paper_defaults(),
+                       util::Config::parse("zzqqxxyy = 1\n"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIo, BadValueReportsKeyAndLine) {
+  const auto kv = util::Config::parse(
+      "nodes = 42\n"
+      "# comment lines still count toward line numbers\n"
+      "sim_hours = 2,5\n");
+  try {
+    (void)apply_config(ScenarioConfig::paper_defaults(), kv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sim_hours"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("2,5"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIo, ProgrammaticSetHasNoLineNumber) {
+  util::Config kv;
+  kv.set("nodes", "many");
+  try {
+    (void)apply_config(ScenarioConfig::paper_defaults(), kv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nodes"), std::string::npos) << what;
+    EXPECT_EQ(what.find("line"), std::string::npos) << what;  // not from a file
+  }
+}
+
+TEST(ConfigIo, ShardThreadsRoundTripsAndValidates) {
+  const auto kv = util::Config::parse("shard_threads = 4\n");
+  const ScenarioConfig cfg = apply_config(ScenarioConfig::paper_defaults(), kv);
+  EXPECT_EQ(cfg.shard_threads, 4u);
+  EXPECT_NE(to_config_text(cfg).find("shard_threads = 4"), std::string::npos);
+  EXPECT_THROW((void)apply_config(ScenarioConfig::paper_defaults(),
+                                  util::Config::parse("shard_threads = 300\n")),
+               std::invalid_argument);
+}
+
 TEST(ConfigIo, RoundTripsExactly) {
   ScenarioConfig cfg = ScenarioConfig::scaled_defaults(77, 3.5);
   cfg.scheme = Scheme::kSprayAndWait;

@@ -72,6 +72,37 @@ TEST(SimTime, Infinity) {
   EXPECT_LT(SimTime::hours(1000000), SimTime::infinity());
 }
 
+TEST(SimTime, InfinityArithmeticNeverProducesNaN) {
+  // inf - inf and inf * 0 are NaN in IEEE arithmetic; NaN compares false
+  // with everything, which would silently break every deadline comparison.
+  // SimTime pins those two cases to zero instead.
+  EXPECT_EQ(SimTime::never() - SimTime::never(), SimTime::zero());
+  EXPECT_EQ(SimTime::never() + (-1.0 * SimTime::never()), SimTime::zero());
+  EXPECT_EQ(SimTime::never() * 0.0, SimTime::zero());
+  EXPECT_EQ(0.0 * SimTime::never(), SimTime::zero());
+
+  // Ordinary infinite results are preserved, not clobbered.
+  EXPECT_EQ(SimTime::never() + SimTime::seconds(5), SimTime::never());
+  EXPECT_EQ(SimTime::never() - SimTime::seconds(5), SimTime::never());
+  EXPECT_EQ(SimTime::never() * 2.0, SimTime::never());
+  EXPECT_FALSE((SimTime::never() * 0.5).finite());
+
+  SimTime t = SimTime::never();
+  t -= SimTime::never();  // compound forms share the guarded operators
+  EXPECT_EQ(t, SimTime::zero());
+  t = SimTime::never();
+  t += SimTime::seconds(1);
+  EXPECT_EQ(t, SimTime::never());
+}
+
+TEST(SimTime, NeverIsUsableAsADeadline) {
+  const SimTime deadline = SimTime::never();
+  EXPECT_LT(SimTime::hours(1e9), deadline);
+  EXPECT_FALSE(deadline < deadline);      // irreflexive, unlike NaN's always-false
+  EXPECT_TRUE(deadline <= deadline);      // ...which would also break this
+  EXPECT_EQ(deadline, SimTime::infinity());
+}
+
 // --- Vec2 --------------------------------------------------------------------
 
 TEST(Vec2, Distance) {
@@ -196,14 +227,34 @@ TEST(StringUtil, StartsWith) {
 TEST(StringUtil, ParseDouble) {
   EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
   EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_DOUBLE_EQ(parse_double("+1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("  0.25  "), 0.25);
   EXPECT_THROW((void)parse_double("abc"), std::invalid_argument);
   EXPECT_THROW((void)parse_double("1.5x"), std::invalid_argument);
+}
+
+TEST(StringUtil, ParseDoubleIsLocaleIndependentAndStrict) {
+  // from_chars always uses '.'; "3,5" must be rejected, never read as 3.0
+  // with silently dropped garbage (the strtod failure mode under de_DE).
+  EXPECT_THROW((void)parse_double("3,5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("   "), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("+"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("+-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1.5 2.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1e999999"), std::invalid_argument);  // overflow
 }
 
 TEST(StringUtil, ParseInt) {
   EXPECT_EQ(parse_int("42"), 42);
   EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("+13"), 13);
+  EXPECT_EQ(parse_int(" 8 "), 8);
   EXPECT_THROW((void)parse_int("4.2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("12abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("0x10"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("99999999999999999999999"), std::invalid_argument);
 }
 
 TEST(StringUtil, ParseBool) {
