@@ -5,11 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -425,27 +427,44 @@ KernelSample time_scan_kernel(bool incremental, int nodes, int iterations) {
     }
   }
   std::vector<net::SpatialGrid::Pair> pairs;
-  const auto start = std::chrono::steady_clock::now();
-  for (int it = 0; it < iterations; ++it) {
-    world.step();
-    if (incremental) {
-      for (std::size_t i = 0; i < slots.size(); ++i) grid.update_slot(slots[i], world.pos[i]);
-    } else {
-      grid.clear();
-      for (int i = 0; i < nodes; ++i) {
-        (void)grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
-                          world.pos[static_cast<std::size_t>(i)]);
+  // The reported statistic is the *minimum* per-chunk mean over several
+  // contiguous chunks of iterations, not the mean of one long window: on a
+  // shared host, any chunk that overlaps a preemption or a frequency dip is
+  // inflated by scheduler noise, while the fastest chunk is the closest
+  // observable estimate of the kernel's own cost (the same reasoning behind
+  // google-benchmark's repetition minimum). The workload is identical every
+  // iteration modulo the random walk, so chunk means are comparable.
+  constexpr int kChunks = 10;
+  const int chunk_iters = std::max(1, iterations / kChunks);
+  double best_chunk_ns = std::numeric_limits<double>::infinity();
+  int done = 0;
+  while (done < iterations) {
+    const int todo = std::min(chunk_iters, iterations - done);
+    const auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < todo; ++it) {
+      world.step();
+      if (incremental) {
+        for (std::size_t i = 0; i < slots.size(); ++i) grid.update_slot(slots[i], world.pos[i]);
+      } else {
+        grid.clear();
+        for (int i = 0; i < nodes; ++i) {
+          (void)grid.insert(util::NodeId(static_cast<util::NodeId::underlying>(i)),
+                            world.pos[static_cast<std::size_t>(i)]);
+        }
       }
+      grid.pairs_within(100.0, pairs);
+      benchmark::DoNotOptimize(pairs.data());
     }
-    grid.pairs_within(100.0, pairs);
-    benchmark::DoNotOptimize(pairs.data());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double chunk_ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+        static_cast<double>(todo);
+    best_chunk_ns = std::min(best_chunk_ns, chunk_ns);
+    done += todo;
   }
-  const auto elapsed = std::chrono::steady_clock::now() - start;
   KernelSample sample;
-  sample.ns_per_scan =
-      static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
-      static_cast<double>(iterations);
+  sample.ns_per_scan = best_chunk_ns;
   sample.pairs = pairs.size();
   return sample;
 }
@@ -477,14 +496,167 @@ void write_contact_scan_json() {
   }
   os << "{\n  \"schema\": \"dtnic.contact_scan_bench.v1\",\n  \"results\": [\n";
   bool first = true;
-  for (const Case& c : kCases) {
-    const int iterations = fast ? 20 : (c.nodes >= 2000 ? 500 : 2000);
-    const KernelSample sample = time_scan_kernel(c.incremental, c.nodes, iterations);
+  auto row = [&](const std::string& kernel, int nodes, int iterations,
+                 const KernelSample& sample) {
     if (!first) os << ",\n";
     first = false;
-    os << "    {\"kernel\": \"" << c.kernel << "\", \"nodes\": " << c.nodes
+    os << "    {\"kernel\": \"" << kernel << "\", \"nodes\": " << nodes
        << ", \"iterations\": " << iterations << ", \"ns_per_scan\": " << sample.ns_per_scan
        << ", \"pairs\": " << sample.pairs << "}";
+  };
+  for (const Case& c : kCases) {
+    const int iterations = fast ? 20 : (c.nodes >= 2000 ? 500 : 2000);
+    row(c.kernel, c.nodes, iterations, time_scan_kernel(c.incremental, c.nodes, iterations));
+  }
+  // Per-variant rows for the moving scan at paper scale. Only variants the
+  // host CPU supports appear, so regression comparison must intersect rows
+  // on (kernel, nodes) rather than expect a fixed set.
+  const auto saved_variant = net::SpatialGrid::scan_variant();
+  for (const auto v : net::SpatialGrid::supported_scan_variants()) {
+    (void)net::SpatialGrid::set_scan_variant(v);
+    const int iterations = fast ? 20 : 500;
+    row(std::string("scan_incremental_") + net::SpatialGrid::scan_variant_name(v), 2000,
+        iterations, time_scan_kernel(true, 2000, iterations));
+  }
+  (void)net::SpatialGrid::set_scan_variant(saved_variant);
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Hand-timed event-queue sample: ns per queue operation and the operation
+/// count of one iteration.
+struct EventQueueSample {
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+};
+
+/// Fill-then-drain with uniformly random times (the heap's worst case; the
+/// wheel pays one bucket sort per distinct tick instead of log n per op).
+EventQueueSample time_eventq_push_pop(int events, int iterations) {
+  util::Rng rng(2);
+  std::uint64_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    sim::EventQueue q;
+    for (int i = 0; i < events; ++i) {
+      (void)q.push(util::SimTime::seconds(rng.uniform(0.0, 1000.0)), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+    ops += 2ull * static_cast<std::uint64_t>(events);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EventQueueSample sample;
+  sample.ops = ops / static_cast<std::uint64_t>(iterations);
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(ops);
+  return sample;
+}
+
+/// Timeout-style usage: ~15/16 of pushed events are cancelled before firing.
+EventQueueSample time_eventq_cancel_churn(int events, int iterations) {
+  util::Rng rng(9);
+  std::uint64_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(events));
+    for (int i = 0; i < events; ++i) {
+      ids.push_back(q.push(util::SimTime::seconds(rng.uniform(0.0, 1000.0)), [] {}));
+      ++ops;
+      if (!ids.empty() && rng.below(16) != 0) {
+        const std::size_t victim = rng.below(ids.size());
+        q.cancel(ids[victim]);
+        ids[victim] = ids.back();
+        ids.pop_back();
+        ++ops;
+      }
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+      ++ops;
+    }
+    benchmark::DoNotOptimize(q.heap_entries());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EventQueueSample sample;
+  sample.ops = ops / static_cast<std::uint64_t>(iterations);
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(ops);
+  return sample;
+}
+
+/// Steady-state simulator shape: a working set of periodic events that
+/// re-arm themselves on fire (contact scans, battery drains, samplers). The
+/// wheel serves this from the same few slots over and over.
+EventQueueSample time_eventq_periodic(int events, int iterations) {
+  util::Rng rng(12);
+  sim::EventQueue q;
+  double t = 0.0;
+  for (int i = 0; i < events; ++i) {
+    (void)q.push(util::SimTime::seconds(rng.uniform(0.0, 10.0)), [] {});
+  }
+  std::uint64_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iterations; ++it) {
+    for (int i = 0; i < events; ++i) {
+      auto popped = q.pop();
+      t = popped.time.sec();
+      // Re-arm with the jittered period the scenario layer uses for scans.
+      (void)q.push(util::SimTime::seconds(t + 5.0 + rng.uniform(0.0, 0.5)), [] {});
+      ops += 2;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EventQueueSample sample;
+  sample.ops = ops / static_cast<std::uint64_t>(iterations);
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(ops);
+  return sample;
+}
+
+/// Emit BENCH_event_queue.json: machine-readable summary of the timing-wheel
+/// event queue kernels. Controlled by DTNIC_BENCH_JSON_EVENTQ (output path;
+/// default alongside the binary) and DTNIC_BENCH_JSON_FAST (smoke scale).
+void write_event_queue_json() {
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON_EVENTQ");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_event_queue.json";
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_kernel: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"schema\": \"dtnic.event_queue_bench.v1\",\n  \"results\": [\n";
+  bool first = true;
+  auto row = [&](const char* kernel, int events, int iterations,
+                 const EventQueueSample& sample) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"kernel\": \"" << kernel << "\", \"events\": " << events
+       << ", \"iterations\": " << iterations << ", \"ns_per_op\": " << sample.ns_per_op
+       << ", \"ops\": " << sample.ops << "}";
+  };
+  for (const int events : {1024, 16384}) {
+    const int iterations = fast ? 10 : (events >= 16384 ? 100 : 1000);
+    row("push_pop_random", events, iterations, time_eventq_push_pop(events, iterations));
+  }
+  {
+    const int iterations = fast ? 10 : 100;
+    row("cancel_churn", 16384, iterations, time_eventq_cancel_churn(16384, iterations));
+  }
+  {
+    const int iterations = fast ? 50 : 5000;
+    row("periodic_ticks", 256, iterations, time_eventq_periodic(256, iterations));
   }
   os << "\n  ]\n}\n";
   std::cout << "wrote " << path << "\n";
@@ -692,6 +864,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_contact_scan_json();
+  write_event_queue_json();
   write_routing_exchange_json();
   write_observability_json();
   return 0;

@@ -114,7 +114,13 @@ void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
   fill_promise_context(self, promise_ctx_);
 
   keyed_scratch_.clear();
-  keyed_scratch_.reserve(out.size());
+  if (keyed_scratch_.capacity() < out.size()) {
+    // Floored geometric growth: plan counts creep upward as transient
+    // interests spread, and letting the vector grow by its own doubling
+    // sprinkles small reallocations across many later contacts. One generous
+    // jump keeps the steady-state contact tick allocation-free.
+    keyed_scratch_.reserve(std::max<std::size_t>(32, 2 * out.size()));
+  }
   for (ForwardPlan& p : out) {
     const msg::Message* m = self.buffer().find(p.message);
     DTNIC_ASSERT(m != nullptr);
@@ -132,21 +138,24 @@ void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
         p.prepay = world_->incentive.relay_prepay_fraction * p.promise;
       }
     }
-    keyed_scratch_.push_back(
-        KeyedPlan{p, msg::priority_level(m->priority()), m->quality()});
+    keyed_scratch_.push_back(KeyedPlan{p, msg::priority_level(m->priority()), m->quality(),
+                                       static_cast<std::uint32_t>(keyed_scratch_.size())});
   }
 
   // Higher-priority, higher-quality messages go first (the behavior Fig. 5.6
   // measures). Destinations outrank relay handoffs at equal priority. Keys
-  // were resolved above, so the comparator never touches the buffer.
-  std::stable_sort(keyed_scratch_.begin(), keyed_scratch_.end(),
-                   [](const KeyedPlan& a, const KeyedPlan& b) {
-                     if (a.priority != b.priority) return a.priority < b.priority;
-                     if (a.plan.role != b.plan.role) {
-                       return a.plan.role == TransferRole::kDestination;
-                     }
-                     return a.quality > b.quality;
-                   });
+  // were resolved above, so the comparator never touches the buffer. The
+  // pre-sort position is the final tiebreak, which reproduces stable_sort's
+  // order without its per-call temporary merge buffer.
+  std::sort(keyed_scratch_.begin(), keyed_scratch_.end(),
+            [](const KeyedPlan& a, const KeyedPlan& b) {
+              if (a.priority != b.priority) return a.priority < b.priority;
+              if (a.plan.role != b.plan.role) {
+                return a.plan.role == TransferRole::kDestination;
+              }
+              if (a.quality != b.quality) return a.quality > b.quality;
+              return a.seq < b.seq;
+            });
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = keyed_scratch_[i].plan;
 }
 

@@ -93,12 +93,15 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   [[nodiscard]] double promise_for(routing::Host& self, routing::Host& peer,
                                    const msg::Message& m, const PromiseContext& ctx);
 
-  /// Plan entry with its sort keys resolved once; the stable_sort comparator
-  /// compares plain fields instead of doing two buffer hash lookups per call.
+  /// Plan entry with its sort keys resolved once; the sort comparator
+  /// compares plain fields instead of doing two buffer hash lookups per
+  /// call. `seq` is the pre-sort position: using it as the final tiebreak
+  /// makes plain std::sort stable without stable_sort's temporary buffer.
   struct KeyedPlan {
     routing::ForwardPlan plan;
     int priority = 0;
     double quality = 0.0;
+    std::uint32_t seq = 0;
   };
 
   /// DRM judgement of a freshly received copy: rate the source and every
@@ -114,7 +117,9 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   TokenLedger ledger_;
   RatingStore ratings_;
   Enricher enricher_;
-  std::unordered_map<routing::NodeId, double> contact_distance_;
+  /// Distance to each currently connected peer; inserted on link-up, erased
+  /// on link-down — per-contact node churn, so arena-pooled.
+  util::arena::PooledMap<routing::NodeId, double> contact_distance_;
   /// plan_into scratch (reused across contacts; steady-state allocation-free).
   PromiseContext promise_ctx_;
   std::vector<KeyedPlan> keyed_scratch_;

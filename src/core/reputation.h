@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "msg/message.h"
+#include "util/arena.h"
 #include "util/ids.h"
 #include "util/rng.h"
 
@@ -77,7 +78,7 @@ class RatingStore {
   };
 
   DrmParams params_;
-  std::unordered_map<NodeId, Record> records_;
+  util::arena::PooledMap<NodeId, Record> records_;
 };
 
 /// The simulated user's post-reception judgement of a message (§3.3 and

@@ -18,7 +18,7 @@ MessageBuffer::MessageBuffer(std::uint64_t capacity_bytes, DropPolicy policy)
   DTNIC_REQUIRE_MSG(capacity_bytes > 0, "buffer capacity must be positive");
 }
 
-std::list<MessageBuffer::Slot>::iterator MessageBuffer::pick_victim() {
+MessageBuffer::SlotList::iterator MessageBuffer::pick_victim() {
   // Own (originated) messages are spared while any relayed copy remains;
   // once only own messages are left they are evicted too (a node cannot
   // wedge itself by creating content).

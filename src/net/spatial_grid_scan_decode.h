@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file spatial_grid_scan_decode.h
+/// Shared constants for the SIMD contact-scan kernels. A radius test over 8
+/// candidate lanes produces one byte of hit bits; the kernels accumulate the
+/// bytes into a per-point hit word and walk its set bits with ctz, so pair
+/// emission is a short loop over exactly the hits with no per-lane branch.
+
+namespace dtnic::net::scan_detail {
+
+/// Intra-cell mask for entry i over the cell's own 4 lanes: keep only lanes
+/// j > i, so each unordered in-cell pair is tested exactly once and the
+/// self-pair never.
+inline constexpr std::uint32_t kIntraMask[4] = {0xe, 0xc, 0x8, 0x0};
+
+}  // namespace dtnic::net::scan_detail

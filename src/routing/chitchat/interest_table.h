@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "msg/message.h"
+#include "util/arena.h"
 #include "util/sim_time.h"
 
 /// \file interest_table.h
@@ -114,7 +115,7 @@ class InterestTable {
   [[nodiscard]] static int psi(bool self_has, bool self_direct, bool peer_direct);
 
   ChitChatParams params_;
-  std::unordered_map<KeywordId, Slot> slots_;
+  util::arena::PooledMap<KeywordId, Slot> slots_;
   std::uint64_t generation_ = 0;
 };
 

@@ -2,22 +2,41 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/sim_time.h"
 
 /// \file event_queue.h
 /// Time-ordered event queue with stable FIFO ordering for simultaneous
-/// events and O(log n) lazy cancellation.
+/// events and O(1) cancellation, implemented as a hierarchical timing wheel.
+///
+/// Why a wheel: the workload is dominated by short-horizon periodic ticks
+/// (scan/control timers re-armed every period). A binary heap pays O(log n)
+/// comparisons plus a hash-map insert/erase per event for the callback side
+/// table; the wheel turns both into array writes. Events live in a slab of
+/// records (recycled through a free list), are filed into one of 8 levels of
+/// 256 slots by the highest byte in which their tick differs from the current
+/// tick, and cascade one level down each time the clock reaches their slot.
+/// Level 0 slots are exact ticks, so draining a level-0 slot yields the
+/// events of one tick; they are sorted by (time, seq) into the "current
+/// bucket" and consumed in order, which reproduces the heap's fire order
+/// exactly: time first, then insertion sequence for ties.
+///
+/// Cancellation: records still filed in a wheel slot unlink in O(1) and are
+/// reclaimed immediately. Records already in the current bucket are only
+/// marked (the bucket is a sorted vector), then reclaimed when the cursor
+/// passes them — or wholesale once the dead count exceeds
+/// kCompactionThreshold and outnumbers the live remainder, mirroring the old
+/// heap's compaction guarantee. When the queue drains, every straggler is
+/// released, so bookkeeping never outlives the events it tracked.
 
 namespace dtnic::sim {
 
 using EventFn = std::function<void()>;
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Encodes slab index and a
+/// per-record generation so a handle kept after its event fired can never
+/// cancel an unrelated event that reused the record.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -26,6 +45,19 @@ struct EventId {
 
 class EventQueue {
  public:
+  EventQueue();
+
+  /// Cancel-heavy bucket compaction trigger: once at least this many
+  /// cancelled records are stranded in the current bucket *and* they
+  /// outnumber the live remainder, the bucket is rebuilt with only live
+  /// entries. Named so tests can pin the policy instead of re-deriving it.
+  static constexpr std::size_t kCompactionThreshold = 64;
+
+  /// Wheel resolution: events within the same 1/8 s tick are ordered by
+  /// their exact (time, seq) when the tick's bucket is formed, so the
+  /// resolution affects bucketing granularity only, never fire order.
+  static constexpr double kTicksPerSecond = 8.0;
+
   /// Enqueue \p fn at time \p t. Events at the same time fire in insertion
   /// order, which keeps runs deterministic.
   EventId push(util::SimTime t, EventFn fn);
@@ -33,8 +65,8 @@ class EventQueue {
   /// Cancel an event; harmless if already fired or cancelled.
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending (non-cancelled) event.
   /// Requires !empty().
@@ -47,37 +79,61 @@ class EventQueue {
   };
   [[nodiscard]] Popped pop();
 
-  /// Bookkeeping introspection (tests / diagnostics): raw heap entries
-  /// including cancelled ones not yet dropped, and pending cancel markers.
-  /// Both drain to zero when the queue empties.
-  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
-  [[nodiscard]] std::size_t cancelled_entries() const { return cancelled_.size(); }
+  /// Bookkeeping introspection (tests / diagnostics): slab records still in
+  /// use including cancelled ones not yet reclaimed, and the count of those
+  /// pending cancel markers. Both drain to zero when the queue empties.
+  [[nodiscard]] std::size_t heap_entries() const { return live_ + bucket_dead_; }
+  [[nodiscard]] std::size_t cancelled_entries() const { return bucket_dead_; }
 
  private:
-  struct Entry {
-    util::SimTime time;
-    std::uint64_t seq;
-    EventId id;
-    // Heap entries are copied around; keep the callable in a side table
-    // indexed by seq to avoid moving std::function through the heap.
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr int kLevels = 8;    ///< 8 levels x 8 bits cover any tick
+  static constexpr int kSlots = 256;   ///< slots per level (one byte)
+  static constexpr std::int32_t kFree = -1;
+  static constexpr std::int32_t kBucket = -2;
+
+  struct Record {
+    util::SimTime time{0.0};
+    std::uint64_t seq = 0;   ///< FIFO tiebreak for equal times
+    std::uint64_t tick = 0;  ///< floor(time * kTicksPerSecond), clamped
+    std::int32_t prev = -1;  ///< doubly-linked list within a wheel slot
+    std::int32_t next = -1;
+    /// kFree, kBucket, or level * kSlots + slot when filed in a wheel.
+    std::int32_t loc = kFree;
+    std::uint32_t generation = 0;  ///< bumped on release; stale-id guard
+    bool cancelled = false;
+    EventFn fn;
   };
 
-  void drop_cancelled();
-  /// Release cancel bookkeeping: when the queue drains, every remaining heap
-  /// entry is a cancelled straggler and is dropped wholesale; under
-  /// cancel-heavy load the heap is compacted once dead entries outnumber
-  /// live ones, instead of waiting for each to surface at the top.
-  void maybe_shrink();
+  [[nodiscard]] static std::uint64_t tick_of(util::SimTime t);
+  [[nodiscard]] std::int32_t acquire_record();
+  void release_record(std::int32_t idx);
+  /// File a record (tick > cur_tick_) into its wheel slot.
+  void wheel_link(std::int32_t idx);
+  void wheel_unlink(std::int32_t idx);
+  /// First occupied slot >= \p from at \p level, or -1.
+  [[nodiscard]] int next_occupied(int level, int from) const;
+  /// Advance the clock to the next occupied tick and form its sorted bucket.
+  /// Requires at least one live record filed in the wheels.
+  void advance();
+  /// Index of the earliest live record, reclaiming dead ones on the way.
+  /// Requires live_ > 0.
+  [[nodiscard]] std::int32_t front_record();
+  void maybe_compact_bucket();
+  /// live_ hit zero: release every straggler and reset the bucket.
+  void reset_drained();
+  [[nodiscard]] bool record_earlier(std::int32_t a, std::int32_t b) const;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<std::uint64_t, EventFn> callbacks_;  // keyed by seq
-  std::unordered_set<std::uint64_t> cancelled_;           // EventId values
+  std::vector<Record> records_;      ///< slab; index is the EventId low word
+  std::vector<std::int32_t> free_;   ///< recycled slab indices
+  std::int32_t heads_[kLevels][kSlots];
+  std::uint64_t occupancy_[kLevels][kSlots / 64];  ///< per-level slot bitmap
+  /// Records of the tick being consumed, sorted by (time, seq); entries
+  /// before cursor_ already fired (and were released).
+  std::vector<std::int32_t> bucket_;
+  std::size_t cursor_ = 0;
+  std::size_t bucket_dead_ = 0;  ///< cancelled-but-unreclaimed bucket records
+  std::size_t live_ = 0;
+  std::uint64_t cur_tick_ = 0;
   std::uint64_t next_seq_ = 1;
 };
 

@@ -1,0 +1,110 @@
+#include "util/arena.h"
+
+#include <mutex>
+#include <vector>
+
+namespace dtnic::util::arena {
+
+#ifdef DTNIC_ARENA_DISABLE
+
+// Sanitizer passthrough: every block is an individual operator new allocation
+// so ASan/LSan/TSan see exact object lifetimes and boundaries.
+void* allocate(std::size_t bytes) { return ::operator new(bytes); }
+void deallocate(void* p, std::size_t) noexcept { ::operator delete(p); }
+bool enabled() noexcept { return false; }
+ThreadStats thread_stats() noexcept { return {}; }
+
+#else
+
+namespace {
+
+constexpr std::size_t kClasses = kMaxPooledBytes / kClassBytes;
+
+[[nodiscard]] constexpr std::size_t class_of(std::size_t bytes) {
+  // bytes in [1, kMaxPooledBytes] -> [0, kClasses); 0 maps to class 0.
+  return bytes == 0 ? 0 : (bytes - 1) / kClassBytes;
+}
+
+/// Process-lifetime owner of every chunk any thread ever carved.
+/// Intentionally leaked: thread-local free lists and the objects parked on
+/// them may be touched during static destruction (e.g. a global Simulator or
+/// a detached worker draining late), and freeing the chunks under them would
+/// turn an orderly shutdown into a use-after-free. One deliberate leak of
+/// memory the process was still using at exit is the honest trade; it also
+/// makes cross-thread frees safe, because no thread ever owns the memory a
+/// block lives in.
+struct ChunkRegistry {
+  std::mutex mu;
+  std::vector<void*> chunks;  // retained for debuggability; never freed
+
+  void* grab_chunk() {
+    void* chunk = ::operator new(kChunkBytes);
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back(chunk);
+    return chunk;
+  }
+};
+
+ChunkRegistry& registry() {
+  static ChunkRegistry* r = new ChunkRegistry;  // leaked on purpose, see above
+  return *r;
+}
+
+/// Per-thread bump cursor + free lists. No destructor: blocks parked here
+/// stay valid (registry owns the memory) and are simply unreachable once the
+/// thread exits — bounded by kChunkBytes per thread, reclaimed at teardown.
+struct ThreadArena {
+  void* free_list[kClasses] = {};
+  char* bump = nullptr;
+  std::size_t bump_left = 0;
+  ThreadStats stats;
+};
+
+thread_local ThreadArena t_arena;
+
+}  // namespace
+
+void* allocate(std::size_t bytes) {
+  if (bytes > kMaxPooledBytes) {
+    ++t_arena.stats.passthrough;
+    return ::operator new(bytes);
+  }
+  ThreadArena& a = t_arena;
+  const std::size_t cls = class_of(bytes);
+  ++a.stats.pool_allocs;
+  if (void* p = a.free_list[cls]) {
+    a.free_list[cls] = *static_cast<void**>(p);
+    return p;
+  }
+  const std::size_t block = (cls + 1) * kClassBytes;
+  if (a.bump_left < block) {
+    a.bump = static_cast<char*>(registry().grab_chunk());
+    a.bump_left = kChunkBytes;
+    ++a.stats.chunk_allocs;
+  }
+  void* p = a.bump;
+  a.bump += block;
+  a.bump_left -= block;
+  return p;
+}
+
+void deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes > kMaxPooledBytes) {
+    ::operator delete(p);
+    return;
+  }
+  ThreadArena& a = t_arena;
+  const std::size_t cls = class_of(bytes);
+  ++a.stats.pool_frees;
+  *static_cast<void**>(p) = a.free_list[cls];
+  a.free_list[cls] = p;
+}
+
+bool enabled() noexcept { return true; }
+
+ThreadStats thread_stats() noexcept { return t_arena.stats; }
+
+#endif  // DTNIC_ARENA_DISABLE
+
+}  // namespace dtnic::util::arena

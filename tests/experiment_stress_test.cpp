@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/spatial_grid.h"
 #include "scenario/experiment.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 /// Concurrency stress for the parallel experiment layer, built to run under
@@ -117,6 +124,103 @@ TEST(ExperimentStress, RepeatedSweepsAreStable) {
     EXPECT_EQ(first[i].scheme, second[i].scheme);
   }
   util::ThreadPool::set_shared_threads(0);  // restore default sizing
+}
+
+/// Builds a churned grid from \p seed and returns the sorted pair list.
+/// Every caller with the same seed must observe bit-identical output no
+/// matter which scan kernel is active or what other threads are doing.
+std::vector<net::SpatialGrid::Pair> churned_pairs(std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::SpatialGrid grid(100.0);
+  std::vector<std::size_t> slots;
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    slots.push_back(grid.insert(util::NodeId(i + 1),
+                                {rng.uniform(-800.0, 800.0), rng.uniform(-800.0, 800.0)}));
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (const std::size_t slot : slots) {
+      grid.update_slot(slot, {rng.uniform(-800.0, 800.0), rng.uniform(-800.0, 800.0)});
+    }
+  }
+  std::vector<net::SpatialGrid::Pair> pairs;
+  grid.pairs_within(75.0, pairs);
+  return pairs;
+}
+
+/// Concurrent scans on distinct grids: the kernels share only immutable
+/// state (decode table, empty-cell pad, the process-wide variant atomic), so
+/// threads hammering different grids must neither race under TSan nor
+/// perturb each other's output.
+TEST(ExperimentStress, ConcurrentScanVariantsOnDistinctGridsAgree) {
+  using net::SpatialGrid;
+  const SpatialGrid::ScanVariant saved = SpatialGrid::scan_variant();
+  ASSERT_TRUE(SpatialGrid::set_scan_variant(SpatialGrid::ScanVariant::kScalar));
+  std::vector<std::vector<SpatialGrid::Pair>> reference;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) reference.push_back(churned_pairs(seed));
+
+  for (const SpatialGrid::ScanVariant v : SpatialGrid::supported_scan_variants()) {
+    ASSERT_TRUE(SpatialGrid::set_scan_variant(v));
+    std::vector<std::thread> threads;
+    std::vector<std::vector<SpatialGrid::Pair>> got(4);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      threads.emplace_back([&got, seed] { got[seed] = churned_pairs(seed); });
+    }
+    for (std::thread& th : threads) th.join();
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      ASSERT_EQ(got[seed].size(), reference[seed].size())
+          << SpatialGrid::scan_variant_name(v) << " seed " << seed;
+      EXPECT_EQ(std::memcmp(got[seed].data(), reference[seed].data(),
+                            got[seed].size() * sizeof(SpatialGrid::Pair)),
+                0)
+          << SpatialGrid::scan_variant_name(v) << " seed " << seed;
+    }
+  }
+  ASSERT_TRUE(SpatialGrid::set_scan_variant(saved));
+}
+
+/// Concurrent timing wheels: each thread owns its queue, but the records
+/// live in arena chunks handed out under the shared registry mutex and
+/// recycled through thread-local free lists — exactly the sharing TSan
+/// needs to watch. Each thread verifies its own fire order.
+TEST(ExperimentStress, ConcurrentWheelQueuesFireInOrder) {
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &failures] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 99);
+      sim::EventQueue q;
+      std::vector<sim::EventId> ids;
+      int fired = 0;
+      double last = 0.0;
+      for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t dice = rng.below(100);
+        if (dice < 55) {
+          // Push at/after the last pop so fire times must be monotone (a
+          // past push would legitimately fire "early" and break the check).
+          ids.push_back(
+              q.push(util::SimTime::seconds(last + rng.uniform(0.0, 5000.0)), [&fired] { ++fired; }));
+        } else if (dice < 70 && !ids.empty()) {
+          const std::size_t pick = rng.below(ids.size());
+          q.cancel(ids[pick]);
+          ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else if (!q.empty()) {
+          const auto popped = q.pop();
+          if (popped.time.sec() < last) ++failures[static_cast<std::size_t>(t)];
+          last = popped.time.sec();
+          popped.fn();
+        }
+      }
+      while (!q.empty()) {
+        const auto popped = q.pop();
+        if (popped.time.sec() < last) ++failures[static_cast<std::size_t>(t)];
+        last = popped.time.sec();
+        popped.fn();
+      }
+      if (q.heap_entries() != 0) ++failures[static_cast<std::size_t>(t)];
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "thread " << t;
 }
 
 }  // namespace

@@ -20,7 +20,8 @@ TEST(SpatialGrid, FindsNeighborsWithinRadius) {
   grid.insert(NodeId(0), {0, 0});
   grid.insert(NodeId(1), {50, 0});
   grid.insert(NodeId(2), {150, 0});
-  const auto n = grid.neighbors_of({0, 0}, 100.0, NodeId(0));
+  std::vector<NodeId> n;
+  grid.neighbors_of({0, 0}, 100.0, NodeId(0), n);
   ASSERT_EQ(n.size(), 1u);
   EXPECT_EQ(n[0], NodeId(1));
 }
@@ -28,7 +29,9 @@ TEST(SpatialGrid, FindsNeighborsWithinRadius) {
 TEST(SpatialGrid, ExcludesSelf) {
   SpatialGrid grid(100.0);
   grid.insert(NodeId(0), {0, 0});
-  EXPECT_TRUE(grid.neighbors_of({0, 0}, 100.0, NodeId(0)).empty());
+  std::vector<NodeId> n{NodeId(7)};  // stale scratch contents must be cleared
+  grid.neighbors_of({0, 0}, 100.0, NodeId(0), n);
+  EXPECT_TRUE(n.empty());
 }
 
 TEST(SpatialGrid, PairsAcrossCellBoundaries) {

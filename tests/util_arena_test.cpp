@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace dtnic::util::arena {
+namespace {
+
+TEST(Arena, RecyclesBlocksLifo) {
+  if (!enabled()) GTEST_SKIP() << "arena disabled (sanitizer build)";
+  void* a = allocate(64);
+  ASSERT_NE(a, nullptr);
+  deallocate(a, 64);
+  // Same size class -> the freed block is handed straight back.
+  void* b = allocate(64);
+  EXPECT_EQ(a, b);
+  // A different size class draws from a different free list.
+  void* c = allocate(128);
+  EXPECT_NE(b, c);
+  deallocate(b, 64);
+  deallocate(c, 128);
+}
+
+TEST(Arena, SteadyStateStopsRequestingChunks) {
+  if (!enabled()) GTEST_SKIP() << "arena disabled (sanitizer build)";
+  void* warm = allocate(48);
+  deallocate(warm, 48);
+  const ThreadStats before = thread_stats();
+  for (int i = 0; i < 10000; ++i) {
+    void* p = allocate(48);
+    deallocate(p, 48);
+  }
+  const ThreadStats after = thread_stats();
+  EXPECT_EQ(after.chunk_allocs, before.chunk_allocs);
+  EXPECT_EQ(after.pool_allocs - before.pool_allocs, 10000u);
+  EXPECT_EQ(after.pool_frees - before.pool_frees, 10000u);
+}
+
+TEST(Arena, LargeRequestsPassThrough) {
+  const ThreadStats before = thread_stats();
+  void* p = allocate(kMaxPooledBytes + 1);
+  ASSERT_NE(p, nullptr);
+  deallocate(p, kMaxPooledBytes + 1);
+  const ThreadStats after = thread_stats();
+  if (enabled()) EXPECT_EQ(after.passthrough - before.passthrough, 1u);
+}
+
+TEST(Arena, PoolAllocatorDrivesNodeContainers) {
+  std::list<int, PoolAllocator<int>> l;
+  for (int i = 0; i < 100; ++i) l.push_back(i);
+  EXPECT_EQ(l.front(), 0);
+  EXPECT_EQ(l.back(), 99);
+  l.clear();
+
+  std::unordered_map<int, std::uint64_t, std::hash<int>, std::equal_to<int>,
+                     PoolAllocator<std::pair<const int, std::uint64_t>>>
+      m;
+  for (int i = 0; i < 100; ++i) m[i] = static_cast<std::uint64_t>(i) * 3;
+  EXPECT_EQ(m.at(42), 126u);
+  m.erase(42);
+  EXPECT_EQ(m.count(42), 0u);
+
+  // Allocators of different value types compare equal (stateless pool).
+  EXPECT_TRUE((PoolAllocator<int>{} == PoolAllocator<double>{}));
+}
+
+TEST(Arena, ManyLiveBlocksThenFreeAll) {
+  // Forces multiple chunk grabs, then returns everything; the blocks must
+  // all be distinct and remain usable while live.
+  std::vector<void*> blocks;
+  const std::size_t n = 3000;
+  for (std::size_t i = 0; i < n; ++i) {
+    void* p = allocate(40);
+    *static_cast<std::uint64_t*>(p) = i;
+    blocks.push_back(p);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(*static_cast<std::uint64_t*>(blocks[i]), i);
+    deallocate(blocks[i], 40);
+  }
+}
+
+}  // namespace
+}  // namespace dtnic::util::arena
