@@ -1,0 +1,127 @@
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+/// Strong-scaling benchmark for the staged parallel exchange (DESIGN.md
+/// "Parallel exchange phase"): one fixed churny incentive scenario, exchange
+/// thread counts {1, 2, 4, 8}. Row 1 is literally the serial pump (the
+/// staged path only engages above one thread), so comparing it against the
+/// staged rows measures both the split's overhead and its speedup directly.
+/// Because the staged exchange is bit-identical to the serial pump by
+/// construction, the only thing that may change across rows is wall-clock
+/// time — the benchmark asserts created/traffic counts to prove it timed
+/// the same work.
+///
+/// Emits BENCH_exchange_scaling.json (schema dtnic.exchange_scaling_bench.v1):
+///   DTNIC_BENCH_JSON_EXCHANGE_SCALING  output path (default: alongside cwd)
+///   DTNIC_BENCH_JSON_FAST              any value: smoke-test scale for CI
+///
+/// The reported metric is exchange (plan + commit) nanoseconds per pump
+/// tick; speedup on a given host is bounded by its core count — a
+/// single-core CI box will report ~1x for every row, which is expected.
+
+namespace {
+
+using namespace dtnic;
+
+struct Sample {
+  double ns_per_tick = 0.0;
+  std::uint64_t plan_ns = 0;
+  std::uint64_t commit_ns = 0;
+  std::size_t ticks = 0;
+  std::size_t created = 0;
+  std::uint64_t traffic = 0;
+};
+
+Sample time_world(std::size_t nodes, double hours, std::size_t exchange_threads) {
+  scenario::ScenarioConfig cfg = scenario::ScenarioConfig::scaled_defaults(nodes, hours);
+  cfg.scheme = scenario::Scheme::kIncentive;
+  cfg.selfish_fraction = 0.2;
+  cfg.malicious_fraction = 0.1;
+  cfg.max_speed_mps = 8.0;  // contact churn keeps the exchange busy
+  cfg.exchange_threads = exchange_threads;
+
+  scenario::Scenario s(cfg);
+  const scenario::RunResult r = s.run();
+
+  Sample sample;
+  sample.plan_ns = r.timing.routing_plan_ns;
+  sample.commit_ns = r.timing.routing_commit_ns;
+  sample.ticks = static_cast<std::size_t>(cfg.sim_hours * 3600.0 / cfg.scan_interval_s);
+  sample.ns_per_tick =
+      static_cast<double>(r.timing.routing_plan_ns + r.timing.routing_commit_ns) /
+      static_cast<double>(sample.ticks);
+  sample.created = r.created;
+  sample.traffic = r.traffic;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = std::getenv("DTNIC_BENCH_JSON_FAST") != nullptr;
+  std::size_t nodes = fast ? 48 : 200;
+  const double hours = fast ? 0.25 : 2.0;
+  if (argc > 1) nodes = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+
+  const char* path_env = std::getenv("DTNIC_BENCH_JSON_EXCHANGE_SCALING");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_exchange_scaling.json";
+
+  constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+  // Smoke-scale runs finish in milliseconds, where scheduler noise on a
+  // shared host swings multi-thread wall time severalfold; report the best
+  // of a few repetitions (the run itself is deterministic, only the clock
+  // varies). Full-scale runs are long enough to self-average.
+  const std::size_t reps = fast ? 5 : 1;
+  std::vector<Sample> samples;
+  for (const std::size_t threads : kThreadCounts) {
+    Sample best = time_world(nodes, hours, threads);
+    for (std::size_t rep = 1; rep < reps; ++rep) {
+      const Sample again = time_world(nodes, hours, threads);
+      if (again.ns_per_tick < best.ns_per_tick) best = again;
+    }
+    samples.push_back(best);
+    std::cout << "exchange_threads=" << threads
+              << "  ns_per_tick=" << samples.back().ns_per_tick
+              << "  traffic=" << samples.back().traffic
+              << "  speedup=" << samples.front().ns_per_tick / samples.back().ns_per_tick
+              << "x\n";
+  }
+
+  // Same seed, same world: every row must have simulated the same run.
+  for (const Sample& s : samples) {
+    if (s.created != samples.front().created || s.traffic != samples.front().traffic) {
+      std::cerr << "exchange_scaling: output mismatch across thread counts — "
+                   "the staged exchange is not reproducing the serial pump\n";
+      return 1;
+    }
+  }
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "exchange_scaling: cannot write " << path << "\n";
+    return 1;
+  }
+  os << "{\n  \"schema\": \"dtnic.exchange_scaling_bench.v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) os << ",\n";
+    os << "    {\"kernel\": \"staged_exchange\", \"nodes\": " << nodes
+       << ", \"exchange_threads\": " << kThreadCounts[i]
+       << ", \"iterations\": " << samples[i].ticks
+       << ", \"ns_per_tick\": " << samples[i].ns_per_tick
+       << ", \"plan_ns\": " << samples[i].plan_ns
+       << ", \"commit_ns\": " << samples[i].commit_ns
+       << ", \"traffic\": " << samples[i].traffic << "}";
+  }
+  os << "\n  ]\n}\n";
+  if (!os.flush()) {
+    std::cerr << "exchange_scaling: write failed for " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -11,7 +11,7 @@ namespace dtnic::msg {
 
 class MessageIdSource {
  public:
-  [[nodiscard]] MessageId next() { return MessageId(next_++); }
+  [[nodiscard]] util::MessageId next() { return util::MessageId(next_++); }
   [[nodiscard]] std::size_t issued() const { return next_; }
 
  private:

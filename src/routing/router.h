@@ -90,6 +90,18 @@ class Router {
   /// the per-contact allocation. The default forwards to plan(); the hot
   /// routers (ChitChat and the incentive schemes) implement their planning
   /// here and derive plan() from it.
+  ///
+  /// PLAN-SIDE PURITY CONTRACT (the parallel exchange depends on it): the
+  /// scenario's staged exchange calls plan_into and accept concurrently for
+  /// different links while holding exclusive locks over {self, peer} and
+  /// both neighborhoods. An implementation must therefore (a) produce
+  /// outputs that are a deterministic function of state frozen for the tick
+  /// — no RNG draws, no time-of-call dependence beyond \p now — and
+  /// (b) confine any mutation to logically-const memoization or member
+  /// scratch of routers in that locked set (e.g. the ChitChat strength
+  /// cache, PRoPHET's idempotent same-timestamp aging). Observable protocol
+  /// state may only change in the commit-side hooks (on_sent, on_received,
+  /// on_link_up/down), which always run serially.
   virtual void plan_into(Host& self, Host& peer, util::SimTime now,
                          std::vector<ForwardPlan>& out) {
     out = plan(self, peer, now);
@@ -97,6 +109,10 @@ class Router {
 
   /// Peer-side admission control, evaluated before the transfer starts.
   /// \p offer carries the sender's role decision and incentive terms.
+  /// Subject to the same plan-side purity contract as plan_into: the base
+  /// implementation is a read-only has_seen check, and every in-tree
+  /// override only reads state (ratings trust gate, ledger affordability,
+  /// buffer admission) of the locked {self, from} pair.
   [[nodiscard]] virtual AcceptDecision accept(Host& self, Host& from, const msg::Message& m,
                                               const ForwardPlan& offer, util::SimTime now);
 

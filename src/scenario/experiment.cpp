@@ -75,6 +75,9 @@ AggregateResult ExperimentRunner::aggregate(std::string scheme, std::vector<RunR
     constexpr double kMs = 1e-6;
     agg.scan_ms.add(static_cast<double>(r.timing.scan_ns) * kMs);
     agg.routing_ms.add(static_cast<double>(r.timing.routing_ns) * kMs);
+    agg.routing_pre_ms.add(static_cast<double>(r.timing.routing_pre_ns) * kMs);
+    agg.routing_plan_ms.add(static_cast<double>(r.timing.routing_plan_ns) * kMs);
+    agg.routing_commit_ms.add(static_cast<double>(r.timing.routing_commit_ns) * kMs);
     agg.transfer_ms.add(static_cast<double>(r.timing.transfer_ns) * kMs);
     agg.workload_ms.add(static_cast<double>(r.timing.workload_ns) * kMs);
     agg.wall_ms.add(static_cast<double>(r.timing.wall_ns) * kMs);

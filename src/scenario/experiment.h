@@ -63,6 +63,11 @@ struct AggregateResult {
   /// only: never part of figure outputs).
   util::RunningStats scan_ms;
   util::RunningStats routing_ms;
+  /// Routing sub-phases (see PhaseTimings): pre-exchange handlers, the
+  /// staged-exchange plan stage, and the serial commit stage.
+  util::RunningStats routing_pre_ms;
+  util::RunningStats routing_plan_ms;
+  util::RunningStats routing_commit_ms;
   util::RunningStats transfer_ms;
   util::RunningStats workload_ms;
   util::RunningStats wall_ms;
