@@ -32,11 +32,6 @@ IncentiveRouter* IncentiveRouter::of(Host& host) {
   return static_cast<IncentiveRouter*>(&router);
 }
 
-double IncentiveRouter::strength_at(Host& host, const msg::Message& m) {
-  const ChitChatRouter* router = ChitChatRouter::of(host);
-  return router != nullptr ? router->message_strength(m) : 0.0;
-}
-
 void IncentiveRouter::on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) {
   ChitChatRouter::on_link_up(self, peer, now, distance_m);
   contact_distance_[peer.id()] = distance_m;
@@ -72,20 +67,22 @@ void IncentiveRouter::fill_promise_context(Host& self, PromiseContext& ctx) cons
   });
 }
 
-double IncentiveRouter::compute_promise(Host& self, Host& peer, const msg::Message& m) {
+double IncentiveRouter::compute_promise(Host& self, const routing::Peer& peer,
+                                        const msg::Message& m) {
   PromiseContext ctx;
   fill_promise_context(self, ctx);
   return promise_for(self, peer, m, ctx);
 }
 
-double IncentiveRouter::promise_for(Host& self, Host& peer, const msg::Message& m,
-                                    const PromiseContext& ctx) {
+double IncentiveRouter::promise_for(Host& self, const routing::Peer& peer,
+                                    const msg::Message& m, const PromiseContext& ctx) {
   SoftwareFactors f;
-  f.sum_weights_v = strength_at(peer, m);
-  // w_m: the best interest strength among all currently connected devices.
+  f.sum_weights_v = peer.message_strength(m);
+  // w_m: the best interest strength among all currently connected devices
+  // (queried through the Peer interface — same memoized bits as before).
   f.max_sum_weights = f.sum_weights_v;
   for (Host* neighbor : ctx.neighbors) {
-    f.max_sum_weights = std::max(f.max_sum_weights, strength_at(*neighbor, m));
+    f.max_sum_weights = std::max(f.max_sum_weights, neighbor->message_strength(m));
   }
   f.rank_u = self.rank();
   f.rank_v = peer.rank();
@@ -107,10 +104,10 @@ double IncentiveRouter::promise_for(Host& self, Host& peer, const msg::Message& 
   return total_promise(world_->incentive, i_s, i_h);
 }
 
-void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
-                                std::vector<ForwardPlan>& out) {
-  ChitChatRouter::plan_into(self, peer, now, out);
-  const ChitChatRouter* peer_router = ChitChatRouter::of(peer);
+void IncentiveRouter::plan_for_peer(Host& self, const routing::Peer& peer, util::SimTime now,
+                                    std::vector<ForwardPlan>& out) {
+  ChitChatRouter::plan_for_peer(self, peer, now, out);
+  const bool peer_runs_chitchat = peer.interest_table() != nullptr;
   fill_promise_context(self, promise_ctx_);
 
   keyed_scratch_.clear();
@@ -125,14 +122,14 @@ void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
     const msg::Message* m = self.buffer().find(p.message);
     DTNIC_ASSERT(m != nullptr);
     p.promise = promise_for(self, peer, *m, promise_ctx_);
-    if (p.role == TransferRole::kRelay && peer_router != nullptr) {
+    if (p.role == TransferRole::kRelay && peer_runs_chitchat) {
       // Relay threshold (Table 5.1): a receiver with a very high mean tag
       // weight — near-certain deliverer — pre-pays a fraction of the promise.
       // The mean is derived from the memoized strength sum; both iterate the
       // same keyword list, so the quotient is bit-identical to mean_weight.
       const auto& kws = m->keywords();
       const double mean_w = kws.empty() ? 0.0
-                                        : peer_router->message_strength(*m) /
+                                        : peer.message_strength(*m) /
                                               static_cast<double>(kws.size());
       if (mean_w > world_->incentive.relay_threshold) {
         p.prepay = world_->incentive.relay_prepay_fraction * p.promise;
@@ -159,8 +156,9 @@ void IncentiveRouter::plan_into(Host& self, Host& peer, util::SimTime now,
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = keyed_scratch_[i].plan;
 }
 
-AcceptDecision IncentiveRouter::accept(Host& self, Host& from, const msg::Message& m,
-                                       const ForwardPlan& offer, util::SimTime now) {
+AcceptDecision IncentiveRouter::accept(Host& self, const routing::Peer& from,
+                                       const msg::Message& m, const ForwardPlan& offer,
+                                       util::SimTime now) {
   const AcceptDecision base = ChitChatRouter::accept(self, from, m, offer, now);
   if (base != AcceptDecision::kAccept) return base;
 

@@ -66,9 +66,9 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   void on_link_up(routing::Host& self, routing::Host& peer, util::SimTime now,
                   double distance_m) override;
   void on_link_down(routing::Host& self, routing::Host& peer, util::SimTime now) override;
-  void plan_into(routing::Host& self, routing::Host& peer, util::SimTime now,
-                 std::vector<routing::ForwardPlan>& out) override;
-  [[nodiscard]] routing::AcceptDecision accept(routing::Host& self, routing::Host& from,
+  void plan_for_peer(routing::Host& self, const routing::Peer& peer, util::SimTime now,
+                     std::vector<routing::ForwardPlan>& out) override;
+  [[nodiscard]] routing::AcceptDecision accept(routing::Host& self, const routing::Peer& from,
                                                const msg::Message& m,
                                                const routing::ForwardPlan& offer,
                                                util::SimTime now) override;
@@ -76,8 +76,9 @@ class IncentiveRouter final : public routing::ChitChatRouter {
                    const routing::ForwardPlan& plan, util::SimTime now) override;
 
   /// The promise the sender \p self would attach when forwarding \p m to
-  /// \p peer right now (public for tests and the operator facade).
-  [[nodiscard]] double compute_promise(routing::Host& self, routing::Host& peer,
+  /// \p peer right now (public for tests and the operator facade). The peer
+  /// is transport-neutral: strength, rank, and id are all the formula needs.
+  [[nodiscard]] double compute_promise(routing::Host& self, const routing::Peer& peer,
                                        const msg::Message& m);
 
  private:
@@ -90,7 +91,7 @@ class IncentiveRouter final : public routing::ChitChatRouter {
     double max_quality = 1e-9;
   };
   void fill_promise_context(routing::Host& self, PromiseContext& ctx) const;
-  [[nodiscard]] double promise_for(routing::Host& self, routing::Host& peer,
+  [[nodiscard]] double promise_for(routing::Host& self, const routing::Peer& peer,
                                    const msg::Message& m, const PromiseContext& ctx);
 
   /// Plan entry with its sort keys resolved once; the sort comparator
@@ -107,9 +108,6 @@ class IncentiveRouter final : public routing::ChitChatRouter {
   /// DRM judgement of a freshly received copy: rate the source and every
   /// enriching relay, record first-hand, and stamp path ratings on the copy.
   void rate_and_record(routing::Host& self, msg::Message& m);
-
-  /// Σw over \p m's keywords at the ChitChat router of \p host (0 if none).
-  [[nodiscard]] static double strength_at(routing::Host& host, const msg::Message& m);
 
   const IncentiveWorld* world_;
   BehaviorProfile profile_;

@@ -57,37 +57,36 @@ void DtnOperator::decay_weights(util::SimTime now) {
   router_.interests().decay(now, nullptr);
 }
 
-void DtnOperator::increment_weights(routing::Host& peer, util::SimTime now) {
-  routing::ChitChatRouter* other = routing::ChitChatRouter::of(peer);
-  DTNIC_REQUIRE_MSG(other != nullptr, "peer does not run ChitChat");
-  router_.interests().grow_from(other->interests(), now,
+void DtnOperator::increment_weights(const routing::Peer& peer, util::SimTime now) {
+  const routing::chitchat::InterestTable* table = peer.interest_table();
+  DTNIC_REQUIRE_MSG(table != nullptr, "peer does not expose a ChitChat interest table");
+  router_.interests().grow_from(*table, now,
                                 router_.interests().params().growth_contact_cap_s);
 }
 
-std::vector<msg::MessageId> DtnOperator::messages_to_forward(routing::Host& peer,
+std::vector<msg::MessageId> DtnOperator::messages_to_forward(const routing::Peer& peer,
                                                              util::SimTime now) {
+  std::vector<routing::ForwardPlan> plans;
+  router_.plan_for_peer(host_, peer, now, plans);
   std::vector<msg::MessageId> out;
-  for (const routing::ForwardPlan& plan : router_.plan(host_, peer, now)) {
-    out.push_back(plan.message);
-  }
+  out.reserve(plans.size());
+  for (const routing::ForwardPlan& plan : plans) out.push_back(plan.message);
   return out;
 }
 
 routing::TransferRole DtnOperator::decide_role(const msg::Message& m,
-                                               routing::Host& peer) const {
+                                               const routing::Peer& peer) const {
   return oracle_.is_destination(peer.id(), m) ? routing::TransferRole::kDestination
                                               : routing::TransferRole::kRelay;
 }
 
-routing::Host* DtnOperator::best_relay(const std::vector<routing::Host*>& candidates,
+routing::Peer* DtnOperator::best_relay(const std::vector<routing::Peer*>& candidates,
                                        const msg::Message& m) const {
-  routing::Host* best = nullptr;
+  routing::Peer* best = nullptr;
   double best_strength = 0.0;
-  for (routing::Host* candidate : candidates) {
-    const routing::ChitChatRouter* r =
-        candidate != nullptr ? routing::ChitChatRouter::of(*candidate) : nullptr;
-    if (r == nullptr) continue;
-    const double strength = r->message_strength(m);
+  for (routing::Peer* candidate : candidates) {
+    if (candidate == nullptr || candidate->interest_table() == nullptr) continue;
+    const double strength = candidate->message_strength(m);
     if (strength > best_strength) {
       best_strength = strength;
       best = candidate;
@@ -96,7 +95,7 @@ routing::Host* DtnOperator::best_relay(const std::vector<routing::Host*>& candid
   return best;
 }
 
-double DtnOperator::compute_incentive(const msg::Message& m, routing::Host& peer) {
+double DtnOperator::compute_incentive(const msg::Message& m, const routing::Peer& peer) {
   return router_.compute_promise(host_, peer, m);
 }
 

@@ -46,26 +46,29 @@ class DtnOperator {
   void decay_weights(util::SimTime now);
 
   /// Function 4, IncrementWeights: run the ChitChat growth phase against a
-  /// connected peer.
-  void increment_weights(routing::Host& peer, util::SimTime now);
+  /// connected peer. The peer is the transport-neutral Peer view (peer.h):
+  /// an in-process Host in the simulator, a live::RemotePeer carrying the
+  /// latest interest-table digest in live mode. Requires the peer to expose
+  /// a ChitChat interest table.
+  void increment_weights(const routing::Peer& peer, util::SimTime now);
 
   /// Function 5, GetMessagesToForward: ids of messages this device would
   /// offer to \p peer right now.
-  [[nodiscard]] std::vector<msg::MessageId> messages_to_forward(routing::Host& peer,
+  [[nodiscard]] std::vector<msg::MessageId> messages_to_forward(const routing::Peer& peer,
                                                                 util::SimTime now);
 
   /// Function 6, DecideDestOrRelay.
   [[nodiscard]] routing::TransferRole decide_role(const msg::Message& m,
-                                                  routing::Host& peer) const;
+                                                  const routing::Peer& peer) const;
 
   /// Function 7, DecideBestRelay: among \p candidates, the one with the
   /// highest interest strength for the message (nullptr if none).
-  [[nodiscard]] routing::Host* best_relay(const std::vector<routing::Host*>& candidates,
+  [[nodiscard]] routing::Peer* best_relay(const std::vector<routing::Peer*>& candidates,
                                           const msg::Message& m) const;
 
   /// Function 8, ComputeIncentive: the promise this device would attach when
   /// forwarding \p m to \p peer.
-  [[nodiscard]] double compute_incentive(const msg::Message& m, routing::Host& peer);
+  [[nodiscard]] double compute_incentive(const msg::Message& m, const routing::Peer& peer);
 
   /// Function 9, RateMessage: the simulated user's rating of the message
   /// source (0..5).

@@ -1,0 +1,93 @@
+#include "live/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dtnic::live {
+
+std::optional<Endpoint> parse_endpoint(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) return std::nullopt;
+  Endpoint ep;
+  ep.host = s.substr(0, colon);
+  in_addr probe{};
+  if (inet_pton(AF_INET, ep.host.c_str(), &probe) != 1) return std::nullopt;
+  const std::string port_str = s.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) return std::nullopt;
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+namespace {
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("udp: socket() failed: " + std::string(strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("udp: bind(" + std::to_string(port) + ") failed: " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpSocket::send_to(const Endpoint& to, std::span<const std::uint8_t> bytes) {
+  const sockaddr_in addr = to_sockaddr(to);
+  const ssize_t sent = ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  return sent == static_cast<ssize_t>(bytes.size());
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::receive() {
+  std::uint8_t buf[65536];
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (n < 0) return std::nullopt;  // EWOULDBLOCK or a transient error: no datagram
+  Datagram d;
+  char host[INET_ADDRSTRLEN] = {0};
+  if (inet_ntop(AF_INET, &from.sin_addr, host, sizeof(host)) != nullptr) d.from.host = host;
+  d.from.port = ntohs(from.sin_port);
+  d.bytes.assign(buf, buf + n);
+  return d;
+}
+
+}  // namespace dtnic::live

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file udp.h
+/// Minimal non-blocking IPv4 UDP socket for the live overlay. POSIX only —
+/// the simulator never links this library, so the rest of the codebase stays
+/// platform-neutral. Errors surface as std::runtime_error (construction/bind)
+/// or as empty results (transient send/receive failures), matching UDP's
+/// best-effort semantics: the overlay's keepalive layer owns reliability.
+
+namespace dtnic::live {
+
+/// An IPv4 endpoint. `host` is a dotted quad ("127.0.0.1"); name resolution
+/// is out of scope for the overlay.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parse "ip:port"; nullopt on malformed input.
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(const std::string& s);
+
+class UdpSocket {
+ public:
+  /// Bind to 127.0.0.1:\p port (0 = ephemeral; see local_port()).
+  /// Throws std::runtime_error on socket/bind failure.
+  explicit UdpSocket(std::uint16_t port);
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  /// Best-effort datagram send; false on any error (message dropped, as UDP
+  /// would anyway).
+  bool send_to(const Endpoint& to, std::span<const std::uint8_t> bytes);
+
+  /// One received datagram and its sender.
+  struct Datagram {
+    Endpoint from;
+    std::vector<std::uint8_t> bytes;
+  };
+  /// Non-blocking receive; nullopt when no datagram is queued.
+  [[nodiscard]] std::optional<Datagram> receive();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+};
+
+}  // namespace dtnic::live

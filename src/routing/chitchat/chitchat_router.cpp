@@ -85,19 +85,27 @@ std::vector<ForwardPlan> ChitChatRouter::plan(Host& self, Host& peer, util::SimT
 
 void ChitChatRouter::plan_into(Host& self, Host& peer, util::SimTime now,
                                std::vector<ForwardPlan>& out) {
+  plan_for_peer(self, peer, now, out);
+}
+
+void ChitChatRouter::plan_for_peer(Host& self, const Peer& peer, util::SimTime now,
+                                   std::vector<ForwardPlan>& out) {
   (void)now;
   out.clear();
   out.reserve(self.buffer().size());
-  ChitChatRouter* other = ChitChatRouter::of(peer);
+  // Peer::message_strength of an in-process Host is the peer router's
+  // memoized Σw, so this plan is bit-identical to the pre-seam direct
+  // ChitChatRouter::of(peer) queries.
+  const bool peer_runs_chitchat = peer.interest_table() != nullptr;
   self.buffer().for_each([&](const msg::Message& m) {
     if (peer.has_seen(m.id())) return;
     if (oracle().is_destination(peer.id(), m)) {
       out.push_back(ForwardPlan{m.id(), TransferRole::kDestination});
       return;
     }
-    if (other == nullptr) return;
+    if (!peer_runs_chitchat) return;
     const double s_u = message_strength(m);
-    const double s_v = other->message_strength(m);
+    const double s_v = peer.message_strength(m);
     if (s_v > s_u + params_.forward_margin) {
       out.push_back(ForwardPlan{m.id(), TransferRole::kRelay});
     }

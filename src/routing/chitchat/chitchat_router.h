@@ -42,6 +42,15 @@ class ChitChatRouter : public Router {
   void plan_into(Host& self, Host& peer, util::SimTime now,
                  std::vector<ForwardPlan>& out) override;
 
+  /// Transport-neutral planning entry point: the peer is interrogated only
+  /// through the Peer interface (has_seen, id, interest table, strength), so
+  /// the same code plans against an in-process Host and against a
+  /// live::RemotePeer built from a wire digest. plan_into forwards here; the
+  /// incentive schemes override this to attach their token economics.
+  /// Subject to the plan-side purity contract documented on Router::plan_into.
+  virtual void plan_for_peer(Host& self, const Peer& peer, util::SimTime now,
+                             std::vector<ForwardPlan>& out);
+
   /// Sum of this node's interest weights over the message's keywords (S_u).
   /// Memoized per (message id, annotation stamp, table generation): within
   /// one contact plan/promise round the sum is computed once per message,

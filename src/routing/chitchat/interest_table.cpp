@@ -120,6 +120,11 @@ void InterestTable::note_seen(KeywordId k, SimTime now) {
   if (it != slots_.end()) it->second.last_seen_s = now.sec();
 }
 
+void InterestTable::restore(KeywordId k, double weight, bool direct, SimTime now) {
+  slots_[k] = Slot{weight, direct, now.sec()};
+  ++generation_;
+}
+
 std::vector<InterestTable::Entry> InterestTable::entries() const {
   std::vector<Entry> out;
   out.reserve(slots_.size());

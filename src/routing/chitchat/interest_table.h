@@ -80,6 +80,12 @@ class InterestTable {
   /// Record that a connected device shares interest \p k at \p now.
   void note_seen(KeywordId k, SimTime now);
 
+  /// Reinstate a slot verbatim — weight, directness, last-seen — bypassing
+  /// the growth algorithm. Only deserialization uses this (the live
+  /// overlay's INTEREST_DIGEST frames reconstruct a remote peer's table);
+  /// protocol code must go through add_direct / grow_from.
+  void restore(KeywordId k, double weight, bool direct, SimTime now);
+
   struct Entry {
     KeywordId keyword;
     double weight = 0.0;

@@ -1,5 +1,6 @@
 #include "routing/host.h"
 
+#include "routing/chitchat/chitchat_router.h"
 #include "routing/router.h"
 #include "util/assert.h"
 
@@ -17,6 +18,19 @@ Host::Host(NodeId id, std::uint64_t buffer_capacity_bytes, msg::DropPolicy drop_
            RoutingEvents& events)
     : id_(id), buffer_(buffer_capacity_bytes, drop_policy), events_(&events) {
   DTNIC_REQUIRE_MSG(id.valid(), "host id must be valid");
+}
+
+const chitchat::InterestTable* Host::interest_table() const {
+  if (router_ == nullptr || !is_chitchat_kind(router_->kind())) return nullptr;
+  return &static_cast<const ChitChatRouter&>(*router_).interests();
+}
+
+double Host::message_strength(const msg::Message& m) const {
+  if (router_ == nullptr || !is_chitchat_kind(router_->kind())) return 0.0;
+  // The router's memoized strength, so Peer-mediated queries return the
+  // exact bits the direct ChitChatRouter::of(host)->message_strength(m)
+  // calls they replaced did.
+  return static_cast<const ChitChatRouter&>(*router_).message_strength(m);
 }
 
 void Host::set_rank(int rank) {

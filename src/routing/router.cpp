@@ -2,7 +2,7 @@
 
 namespace dtnic::routing {
 
-AcceptDecision Router::accept(Host& self, Host& from, const msg::Message& m,
+AcceptDecision Router::accept(Host& self, const Peer& from, const msg::Message& m,
                               const ForwardPlan& offer, util::SimTime now) {
   (void)from; (void)offer; (void)now;
   if (self.has_seen(m.id())) return AcceptDecision::kDuplicate;

@@ -113,8 +113,15 @@ class Router {
   /// implementation is a read-only has_seen check, and every in-tree
   /// override only reads state (ratings trust gate, ledger affordability,
   /// buffer admission) of the locked {self, from} pair.
-  [[nodiscard]] virtual AcceptDecision accept(Host& self, Host& from, const msg::Message& m,
-                                              const ForwardPlan& offer, util::SimTime now);
+  ///
+  /// \p from is the transport-neutral Peer view of the sender (peer.h): in
+  /// the simulator it is the sending Host; in live mode it is the
+  /// RemotePeer the offer frame arrived from, and \p m is a skeleton
+  /// message reconstructed from the offer's metadata (id, size, priority,
+  /// quality) — exactly the fields the in-tree admission checks read.
+  [[nodiscard]] virtual AcceptDecision accept(Host& self, const Peer& from,
+                                              const msg::Message& m, const ForwardPlan& offer,
+                                              util::SimTime now);
 
   /// Sender-side hook to stamp metadata onto the outgoing copy (spray
   /// counters) just before it is handed to the peer.

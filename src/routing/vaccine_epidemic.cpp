@@ -39,7 +39,7 @@ std::vector<ForwardPlan> VaccineEpidemicRouter::plan(Host& self, Host& peer,
   return plans;
 }
 
-AcceptDecision VaccineEpidemicRouter::accept(Host& self, Host& from, const msg::Message& m,
+AcceptDecision VaccineEpidemicRouter::accept(Host& self, const Peer& from, const msg::Message& m,
                                              const ForwardPlan& offer, util::SimTime now) {
   if (immune_.count(m.id())) return AcceptDecision::kRefused;
   return EpidemicRouter::accept(self, from, m, offer, now);

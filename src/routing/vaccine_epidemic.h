@@ -25,7 +25,7 @@ class VaccineEpidemicRouter : public EpidemicRouter {
       : EpidemicRouter(oracle, RouterKind::kVaccineEpidemic) {}
 
   void on_link_up(Host& self, Host& peer, util::SimTime now, double distance_m) override;
-  [[nodiscard]] AcceptDecision accept(Host& self, Host& from, const msg::Message& m,
+  [[nodiscard]] AcceptDecision accept(Host& self, const Peer& from, const msg::Message& m,
                                       const ForwardPlan& offer, util::SimTime now) override;
   void on_received(Host& self, Host& from, msg::Message m, const ForwardPlan& plan,
                    util::SimTime now) override;

@@ -3,25 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "scenario/router_factory.h"
 #include "util/assert.h"
 
 namespace dtnic::scenario {
 
 const char* scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kIncentive: return "incentive";
-    case Scheme::kPiIncentive: return "pi-incentive";
-    case Scheme::kChitChat: return "chitchat";
-    case Scheme::kEpidemic: return "epidemic";
-    case Scheme::kDirectDelivery: return "direct";
-    case Scheme::kSprayAndWait: return "spray-and-wait";
-    case Scheme::kFirstContact: return "first-contact";
-    case Scheme::kVaccineEpidemic: return "vaccine-epidemic";
-    case Scheme::kProphet: return "prophet";
-    case Scheme::kNectar: return "nectar";
-    case Scheme::kTwoHop: return "two-hop";
-  }
-  return "?";
+  // Single source of truth: the router registry row for the scheme.
+  return router_spec(s).name;
 }
 
 void ScenarioConfig::validate() const {

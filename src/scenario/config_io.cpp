@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "scenario/router_factory.h"
 #include "util/string_util.h"
 
 namespace dtnic::scenario {
@@ -247,17 +248,9 @@ std::string at_line(int line) {
 }  // namespace
 
 Scheme parse_scheme(const std::string& name) {
-  static const std::map<std::string, Scheme> schemes = {
-      {"incentive", Scheme::kIncentive},
-      {"pi-incentive", Scheme::kPiIncentive},     {"chitchat", Scheme::kChitChat},
-      {"epidemic", Scheme::kEpidemic},       {"direct", Scheme::kDirectDelivery},
-      {"spray-and-wait", Scheme::kSprayAndWait}, {"first-contact", Scheme::kFirstContact},
-      {"vaccine-epidemic", Scheme::kVaccineEpidemic},
-      {"prophet", Scheme::kProphet},         {"nectar", Scheme::kNectar},
-      {"two-hop", Scheme::kTwoHop}};
-  auto it = schemes.find(name);
-  if (it == schemes.end()) throw std::invalid_argument("unknown scheme: '" + name + "'");
-  return it->second;
+  const RouterSpec* spec = find_router_spec(name);
+  if (spec == nullptr) throw std::invalid_argument("unknown scheme: '" + name + "'");
+  return spec->scheme;
 }
 
 ScenarioConfig apply_config(ScenarioConfig base, const util::Config& kv) {

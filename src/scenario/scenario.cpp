@@ -8,14 +8,7 @@
 #include "mobility/random_walk.h"
 #include "mobility/random_waypoint.h"
 #include "routing/chitchat/chitchat_router.h"
-#include "routing/direct_delivery.h"
-#include "routing/epidemic.h"
-#include "routing/first_contact.h"
-#include "routing/nectar.h"
-#include "routing/prophet.h"
-#include "routing/vaccine_epidemic.h"
-#include "routing/spray_and_wait.h"
-#include "routing/two_hop.h"
+#include "scenario/router_factory.h"
 #include "util/assert.h"
 #include "util/logging.h"
 #include "util/summary.h"
@@ -70,46 +63,17 @@ const core::BehaviorProfile& Scenario::behavior_of(NodeId id) const {
 }
 
 void Scenario::make_router(std::size_t index) {
-  Host& h = *hosts_[index];
-  const SimTime quantum = SimTime::seconds(cfg_.scan_interval_s);
-  switch (cfg_.scheme) {
-    case Scheme::kIncentive:
-      h.set_router(std::make_unique<core::IncentiveRouter>(
-          oracle_, cfg_.chitchat, quantum, &world_, behaviors_[index],
-          master_rng_.fork(kRouterStream + index * 16)));
-      break;
-    case Scheme::kPiIncentive:
-      h.set_router(std::make_unique<core::PiRouter>(oracle_, cfg_.chitchat, quantum,
-                                                    &world_, &pi_bank_, cfg_.pi));
-      break;
-    case Scheme::kChitChat:
-      h.set_router(std::make_unique<routing::ChitChatRouter>(oracle_, cfg_.chitchat, quantum));
-      break;
-    case Scheme::kEpidemic:
-      h.set_router(std::make_unique<routing::EpidemicRouter>(oracle_));
-      break;
-    case Scheme::kDirectDelivery:
-      h.set_router(std::make_unique<routing::DirectDeliveryRouter>(oracle_));
-      break;
-    case Scheme::kSprayAndWait:
-      h.set_router(std::make_unique<routing::SprayAndWaitRouter>(oracle_, cfg_.spray_copies));
-      break;
-    case Scheme::kFirstContact:
-      h.set_router(std::make_unique<routing::FirstContactRouter>(oracle_));
-      break;
-    case Scheme::kVaccineEpidemic:
-      h.set_router(std::make_unique<routing::VaccineEpidemicRouter>(oracle_));
-      break;
-    case Scheme::kProphet:
-      h.set_router(std::make_unique<routing::ProphetRouter>(oracle_, cfg_.prophet));
-      break;
-    case Scheme::kNectar:
-      h.set_router(std::make_unique<routing::NectarRouter>(oracle_, cfg_.nectar));
-      break;
-    case Scheme::kTwoHop:
-      h.set_router(std::make_unique<routing::TwoHopRouter>(oracle_));
-      break;
-  }
+  RouterBuildContext ctx;
+  ctx.cfg = &cfg_;
+  ctx.oracle = &oracle_;
+  ctx.contact_quantum = SimTime::seconds(cfg_.scan_interval_s);
+  ctx.world = &world_;
+  ctx.pi_bank = &pi_bank_;
+  ctx.behavior = behaviors_[index];
+  ctx.master_rng = &master_rng_;
+  ctx.rng_stream_tag = kRouterStream;
+  ctx.node_index = index;
+  hosts_[index]->set_router(build_router(ctx));
 }
 
 void Scenario::build() {

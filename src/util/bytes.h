@@ -1,0 +1,76 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+/// \file bytes.h
+/// Endian-safe binary encoding primitives. Every binary artifact (the wire
+/// protocol's frames, future binary trace variants) funnels through these
+/// helpers so the byte layout is little-endian everywhere, independent of the
+/// host's endianness, with no UB type punning: doubles cross the integer
+/// boundary via std::bit_cast, and multi-byte integers are assembled
+/// byte-by-byte (shifts), which any compiler folds to a plain load/store on
+/// little-endian hardware.
+///
+/// Writers append to a std::vector<std::uint8_t>; readers take a raw pointer
+/// the caller has already bounds-checked (wire::ByteReader wraps these with
+/// checked cursors). f64 round-trips are exact for every value with a bit
+/// pattern — including infinities (SimTime::never()), subnormals, and NaNs
+/// (payload preserved).
+
+namespace dtnic::util {
+
+inline void write_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void write_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+inline void write_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+inline void write_f64(std::vector<std::uint8_t>& out, double v) {
+  write_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] inline std::uint16_t read_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+[[nodiscard]] inline std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] inline std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline double read_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(read_u64(p));
+}
+
+/// In-place variants for fixed-offset patching (e.g. backfilling a frame's
+/// length field after the payload is appended).
+inline void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+}  // namespace dtnic::util

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+/// \file byte_stream.h
+/// Checked cursors over the raw little-endian primitives of util/bytes.h.
+/// ByteWriter appends to a caller-owned byte vector; ByteReader walks a
+/// read-only span and latches a failure flag on the first out-of-bounds
+/// read instead of touching memory — decoders check ok() once at the end
+/// rather than after every field, and a truncated frame can never fault.
+
+namespace dtnic::wire {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { util::write_u16(out_, v); }
+  void u32(std::uint32_t v) { util::write_u32(out_, v); }
+  void u64(std::uint64_t v) { util::write_u64(out_, v); }
+  void f64(double v) { util::write_f64(out_, v); }
+
+  /// Length-prefixed (u16) byte string; callers keep strings under 64 KiB.
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  /// Current output size — a patch point for backfilled length fields.
+  [[nodiscard]] std::size_t mark() const { return out_.size(); }
+  void patch_u32(std::size_t at, std::uint32_t v) { util::store_u32(out_.data() + at, v); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::span<const std::uint8_t> bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return util::read_u16(data_ + pos_ - 2);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!take(4)) return 0;
+    return util::read_u32(data_ + pos_ - 4);
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return util::read_u64(data_ + pos_ - 8);
+  }
+  [[nodiscard]] double f64() {
+    if (!take(8)) return 0.0;
+    return util::read_f64(data_ + pos_ - 8);
+  }
+  [[nodiscard]] std::string str() {
+    const std::uint16_t len = u16();
+    if (!take(len)) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + pos_ - len), len);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return {data_ + pos_ - n, n};
+  }
+
+  /// False once any read ran past the end; all later reads return zeros.
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+  /// ok() AND the cursor is exactly at the end — rejects garbage tails.
+  [[nodiscard]] bool done() const { return !failed_ && pos_ == size_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dtnic::wire

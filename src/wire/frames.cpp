@@ -1,0 +1,360 @@
+#include "wire/frames.h"
+
+#include "util/assert.h"
+#include "wire/byte_stream.h"
+
+namespace dtnic::wire {
+
+namespace {
+
+using routing::AcceptDecision;
+using routing::NodeId;
+using routing::TransferRole;
+
+/// --- payload encoders ------------------------------------------------------
+
+void encode_payload(const HelloFrame& f, ByteWriter& w) {
+  w.u32(f.node.value());
+  w.u16(f.proto);
+  w.u32(static_cast<std::uint32_t>(f.rank));
+  w.u64(f.keyword_pool_hash);
+}
+
+void encode_payload(const ByeFrame& f, ByteWriter& w) { w.u32(f.node.value()); }
+
+void encode_payload(const InterestDigestFrame& f, ByteWriter& w) {
+  w.u32(f.node.value());
+  w.u32(static_cast<std::uint32_t>(f.entries.size()));
+  for (const InterestEntry& e : f.entries) {
+    w.u32(e.keyword.value());
+    w.f64(e.weight);
+    w.u8(e.direct ? 1 : 0);
+  }
+}
+
+void encode_payload(const RatingGossipFrame& f, ByteWriter& w) {
+  w.u32(f.node.value());
+  w.u32(static_cast<std::uint32_t>(f.entries.size()));
+  for (const RatingEntry& e : f.entries) {
+    w.u32(e.node.value());
+    w.f64(e.rating);
+  }
+}
+
+void encode_payload(const OfferFrame& f, ByteWriter& w) {
+  w.u32(f.message.value());
+  w.u32(f.source.value());
+  w.f64(f.created_at.sec());
+  w.u64(f.size_bytes);
+  w.u8(static_cast<std::uint8_t>(msg::priority_level(f.priority)));
+  w.f64(f.quality);
+  w.u8(f.role == TransferRole::kDestination ? 0 : 1);
+  w.f64(f.promise);
+  w.f64(f.prepay);
+}
+
+void encode_payload(const OfferReplyFrame& f, ByteWriter& w) {
+  w.u32(f.message.value());
+  w.u8(static_cast<std::uint8_t>(f.decision));
+}
+
+void encode_payload(const DataFrame& f, ByteWriter& w) {
+  w.u32(f.message.value());
+  w.u32(f.chunk_index);
+  w.u32(f.chunk_count);
+  w.u32(static_cast<std::uint32_t>(f.payload.size()));
+  w.bytes(f.payload);
+}
+
+void encode_payload(const ReceiptFrame& f, ByteWriter& w) {
+  w.u32(f.message.value());
+  w.u8(f.role == TransferRole::kDestination ? 0 : 1);
+  w.f64(f.amount);
+}
+
+/// --- payload decoders ------------------------------------------------------
+/// Each returns nullopt unless its fields consume the payload exactly.
+
+std::optional<Frame> decode_hello(ByteReader& r) {
+  HelloFrame f;
+  f.node = NodeId(r.u32());
+  f.proto = r.u16();
+  f.rank = static_cast<std::int32_t>(r.u32());
+  f.keyword_pool_hash = r.u64();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<Frame> decode_bye(ByteReader& r) {
+  ByeFrame f;
+  f.node = NodeId(r.u32());
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<Frame> decode_interest_digest(ByteReader& r) {
+  InterestDigestFrame f;
+  f.node = NodeId(r.u32());
+  const std::uint32_t n = r.u32();
+  // Entry stride is 13 bytes; an impossible count fails the bounds checks
+  // below anyway, but capping first avoids a pathological reserve.
+  if (static_cast<std::size_t>(n) * 13 > r.remaining() + 13) return std::nullopt;
+  f.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    InterestEntry e;
+    e.keyword = msg::KeywordId(r.u32());
+    e.weight = r.f64();
+    e.direct = r.u8() != 0;
+    f.entries.push_back(e);
+  }
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<Frame> decode_rating_gossip(ByteReader& r) {
+  RatingGossipFrame f;
+  f.node = NodeId(r.u32());
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::size_t>(n) * 12 > r.remaining() + 12) return std::nullopt;
+  f.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RatingEntry e;
+    e.node = NodeId(r.u32());
+    e.rating = r.f64();
+    f.entries.push_back(e);
+  }
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+std::optional<msg::Priority> decode_priority(std::uint8_t level) {
+  if (level < 1 || level > 3) return std::nullopt;
+  return static_cast<msg::Priority>(level);
+}
+
+std::optional<TransferRole> decode_role(std::uint8_t v) {
+  if (v > 1) return std::nullopt;
+  return v == 0 ? TransferRole::kDestination : TransferRole::kRelay;
+}
+
+std::optional<Frame> decode_offer(ByteReader& r) {
+  OfferFrame f;
+  f.message = msg::MessageId(r.u32());
+  f.source = NodeId(r.u32());
+  f.created_at = util::SimTime::seconds(r.f64());
+  f.size_bytes = r.u64();
+  const auto priority = decode_priority(r.u8());
+  f.quality = r.f64();
+  const auto role = decode_role(r.u8());
+  f.promise = r.f64();
+  f.prepay = r.f64();
+  if (!r.done() || !priority || !role) return std::nullopt;
+  f.priority = *priority;
+  f.role = *role;
+  return f;
+}
+
+std::optional<Frame> decode_offer_reply(ByteReader& r) {
+  OfferReplyFrame f;
+  f.message = msg::MessageId(r.u32());
+  const std::uint8_t decision = r.u8();
+  if (!r.done() || decision > static_cast<std::uint8_t>(AcceptDecision::kRefused)) {
+    return std::nullopt;
+  }
+  f.decision = static_cast<AcceptDecision>(decision);
+  return f;
+}
+
+std::optional<Frame> decode_data(ByteReader& r) {
+  DataFrame f;
+  f.message = msg::MessageId(r.u32());
+  f.chunk_index = r.u32();
+  f.chunk_count = r.u32();
+  const std::uint32_t len = r.u32();
+  const auto payload = r.bytes(len);
+  f.payload.assign(payload.begin(), payload.end());
+  if (!r.done() || f.chunk_count == 0 || f.chunk_index >= f.chunk_count) return std::nullopt;
+  return f;
+}
+
+std::optional<Frame> decode_receipt(ByteReader& r) {
+  ReceiptFrame f;
+  f.message = msg::MessageId(r.u32());
+  const auto role = decode_role(r.u8());
+  f.amount = r.f64();
+  if (!r.done() || !role) return std::nullopt;
+  f.role = *role;
+  return f;
+}
+
+}  // namespace
+
+FrameType frame_type(const Frame& f) {
+  // The variant alternatives are declared in FrameType order, starting at 1.
+  return static_cast<FrameType>(f.index() + 1);
+}
+
+std::size_t encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(frame_type(f)));
+  const std::size_t length_at = w.mark();
+  w.u32(0);  // payload length, patched below
+  std::visit([&w](const auto& frame) { encode_payload(frame, w); }, f);
+  const std::size_t payload_size = out.size() - length_at - 4;
+  DTNIC_REQUIRE_MSG(payload_size <= kMaxFramePayload, "frame payload exceeds the wire cap");
+  w.patch_u32(length_at, static_cast<std::uint32_t>(payload_size));
+  return out.size() - start;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  ByteReader header(bytes.data(), kHeaderSize);
+  if (header.u16() != kMagic) return std::nullopt;
+  if (header.u8() != kProtocolVersion) return std::nullopt;
+  const std::uint8_t type = header.u8();
+  const std::uint32_t length = header.u32();
+  if (length > kMaxFramePayload) return std::nullopt;
+  if (bytes.size() - kHeaderSize < length) return std::nullopt;
+
+  ByteReader payload(bytes.data() + kHeaderSize, length);
+  std::optional<Frame> frame;
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello: frame = decode_hello(payload); break;
+    case FrameType::kBye: frame = decode_bye(payload); break;
+    case FrameType::kInterestDigest: frame = decode_interest_digest(payload); break;
+    case FrameType::kRatingGossip: frame = decode_rating_gossip(payload); break;
+    case FrameType::kOffer: frame = decode_offer(payload); break;
+    case FrameType::kOfferReply: frame = decode_offer_reply(payload); break;
+    case FrameType::kData: frame = decode_data(payload); break;
+    case FrameType::kReceipt: frame = decode_receipt(payload); break;
+    default: return std::nullopt;
+  }
+  if (!frame) return std::nullopt;
+  return DecodedFrame{std::move(*frame), kHeaderSize + length};
+}
+
+std::vector<std::uint8_t> encode_message(const msg::Message& m) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(m.id().value());
+  w.u32(m.source().value());
+  w.f64(m.created_at().sec());
+  w.u64(m.size_bytes());
+  w.u8(static_cast<std::uint8_t>(msg::priority_level(m.priority())));
+  w.f64(m.quality());
+  w.f64(m.ttl().sec());
+  w.u8(m.location().has_value() ? 1 : 0);
+  if (m.location()) {
+    w.f64(m.location()->latitude);
+    w.f64(m.location()->longitude);
+  }
+  w.str(m.mime_type());
+  w.str(m.format());
+  w.u32(static_cast<std::uint32_t>(m.true_keywords().size()));
+  for (msg::KeywordId k : m.true_keywords()) w.u32(k.value());
+  w.u32(static_cast<std::uint32_t>(m.annotations().size()));
+  for (const msg::Annotation& a : m.annotations()) {
+    w.u32(a.keyword.value());
+    w.u32(a.annotator.value());
+    w.u8(a.truthful ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(m.path().size()));
+  for (const msg::HopRecord& hop : m.path()) {
+    w.u32(hop.node.value());
+    w.f64(hop.received_at.sec());
+  }
+  w.u32(static_cast<std::uint32_t>(m.path_ratings().size()));
+  for (const msg::PathRating& pr : m.path_ratings()) {
+    w.u32(pr.rater.value());
+    w.u32(pr.rated.value());
+    w.f64(pr.rating);
+  }
+  return out;
+}
+
+std::optional<msg::Message> decode_message(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const msg::MessageId id{r.u32()};
+  const NodeId source{r.u32()};
+  const util::SimTime created_at = util::SimTime::seconds(r.f64());
+  const std::uint64_t size_bytes = r.u64();
+  const auto priority = decode_priority(r.u8());
+  const double quality = r.f64();
+  const util::SimTime ttl = util::SimTime::seconds(r.f64());
+  if (!r.ok() || !priority) return std::nullopt;
+
+  msg::Message m(id, source, created_at, size_bytes, *priority, quality);
+  m.set_ttl(ttl);
+  if (r.u8() != 0) {
+    msg::GeoTag tag;
+    tag.latitude = r.f64();
+    tag.longitude = r.f64();
+    m.set_location(tag);
+  }
+  m.set_mime_type(r.str());
+  m.set_format(r.str());
+
+  const std::uint32_t n_truth = r.u32();
+  if (static_cast<std::size_t>(n_truth) * 4 > r.remaining() + 4) return std::nullopt;
+  std::vector<msg::KeywordId> truth;
+  truth.reserve(n_truth);
+  for (std::uint32_t i = 0; i < n_truth; ++i) truth.push_back(msg::KeywordId(r.u32()));
+  m.set_true_keywords(std::move(truth));
+
+  const std::uint32_t n_annotations = r.u32();
+  if (static_cast<std::size_t>(n_annotations) * 9 > r.remaining() + 9) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_annotations; ++i) {
+    msg::Annotation a;
+    a.keyword = msg::KeywordId(r.u32());
+    a.annotator = NodeId(r.u32());
+    a.truthful = r.u8() != 0;
+    m.annotate(a);
+  }
+
+  const std::uint32_t n_hops = r.u32();
+  if (static_cast<std::size_t>(n_hops) * 12 > r.remaining() + 12) return std::nullopt;
+  // The Message constructor seeds the path with the origin hop, so a valid
+  // encoding always starts with {source, created_at}; verify instead of
+  // re-appending it.
+  if (n_hops == 0) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_hops; ++i) {
+    const NodeId node{r.u32()};
+    const util::SimTime at = util::SimTime::seconds(r.f64());
+    if (i == 0) {
+      if (node != source || at != created_at) return std::nullopt;
+      continue;
+    }
+    m.record_hop(node, at);
+  }
+
+  const std::uint32_t n_ratings = r.u32();
+  if (static_cast<std::size_t>(n_ratings) * 16 > r.remaining() + 16) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_ratings; ++i) {
+    msg::PathRating pr;
+    pr.rater = NodeId(r.u32());
+    pr.rated = NodeId(r.u32());
+    pr.rating = r.f64();
+    m.add_path_rating(pr);
+  }
+
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::uint64_t keyword_pool_hash(const msg::KeywordTable& table) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::string& name = table.name(msg::KeywordId(static_cast<std::uint32_t>(i)));
+    for (const char c : name) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * kPrime;
+    }
+    h = (h ^ 0u) * kPrime;  // NUL separator: {"ab","c"} != {"a","bc"}
+  }
+  return h;
+}
+
+}  // namespace dtnic::wire

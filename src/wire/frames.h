@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "msg/keyword.h"
+#include "msg/message.h"
+#include "routing/types.h"
+#include "util/sim_time.h"
+
+/// \file frames.h
+/// The dtnic live-overlay wire protocol, version 1. Every datagram is a
+/// sequence of frames, each wrapped in a fixed 8-byte envelope:
+///
+///   offset 0  u16  magic  0xDC17
+///   offset 2  u8   protocol version (1)
+///   offset 3  u8   frame type
+///   offset 4  u32  payload length in bytes
+///   offset 8  payload (little-endian fields, see each frame struct)
+///
+/// All integers are little-endian; doubles travel as their IEEE-754 bit
+/// pattern (util/bytes.h), so SimTime::never()'s infinity round-trips
+/// exactly. Decoders are total: any truncation, bad magic, unknown version
+/// or type, oversized length, or garbage tail inside the payload yields
+/// std::nullopt — never UB, never a partial struct.
+///
+/// Compatibility gating: keyword ids are 32-bit interned indices that are
+/// only meaningful against an agreed keyword pool. HELLO therefore carries
+/// an FNV-1a hash of the sender's full keyword table; nodes ignore peers
+/// whose hash differs (see DESIGN.md "Live overlay").
+
+namespace dtnic::wire {
+
+inline constexpr std::uint16_t kMagic = 0xDC17;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+/// Hard payload cap: a frame always fits one UDP datagram with headroom.
+inline constexpr std::size_t kMaxFramePayload = 60 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,           ///< presence + compatibility (rank, pool hash)
+  kBye = 2,             ///< graceful link teardown
+  kInterestDigest = 3,  ///< ChitChat interest-table snapshot
+  kRatingGossip = 4,    ///< DRM second-hand reputation exchange
+  kOffer = 5,           ///< transfer offer with message skeleton + economics
+  kOfferReply = 6,      ///< accept / refuse an offer
+  kData = 7,            ///< one chunk of a serialized message copy
+  kReceipt = 8,         ///< token settlement after a completed transfer
+};
+
+/// Presence beacon, sent on discovery and every keepalive interval.
+struct HelloFrame {
+  routing::NodeId node;
+  std::uint16_t proto = kProtocolVersion;  ///< negotiation: min(mine, peer's)
+  std::int32_t rank = 0;                   ///< hardware rank R_v (Table 3.1)
+  std::uint64_t keyword_pool_hash = 0;
+  friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+};
+
+struct ByeFrame {
+  routing::NodeId node;
+  friend bool operator==(const ByeFrame&, const ByeFrame&) = default;
+};
+
+/// One interest-table slot (routing/chitchat/interest_table.h entry).
+struct InterestEntry {
+  msg::KeywordId keyword;
+  double weight = 0.0;
+  bool direct = false;
+  friend bool operator==(const InterestEntry&, const InterestEntry&) = default;
+};
+
+struct InterestDigestFrame {
+  routing::NodeId node;
+  std::vector<InterestEntry> entries;
+  friend bool operator==(const InterestDigestFrame&, const InterestDigestFrame&) = default;
+};
+
+struct RatingEntry {
+  routing::NodeId node;
+  double rating = 0.0;  ///< 0..5 DRM scale
+  friend bool operator==(const RatingEntry&, const RatingEntry&) = default;
+};
+
+struct RatingGossipFrame {
+  routing::NodeId node;
+  std::vector<RatingEntry> entries;
+  friend bool operator==(const RatingGossipFrame&, const RatingGossipFrame&) = default;
+};
+
+/// A transfer offer: the message skeleton (enough for the receiver's
+/// accept() gate — duplicate check, buffer admission, affordability) plus
+/// the incentive economics of the ForwardPlan.
+struct OfferFrame {
+  msg::MessageId message;
+  routing::NodeId source;
+  util::SimTime created_at = util::SimTime::zero();
+  std::uint64_t size_bytes = 0;
+  msg::Priority priority = msg::Priority::kMedium;
+  double quality = 1.0;
+  routing::TransferRole role = routing::TransferRole::kRelay;
+  double promise = 0.0;
+  double prepay = 0.0;
+  friend bool operator==(const OfferFrame&, const OfferFrame&) = default;
+};
+
+struct OfferReplyFrame {
+  msg::MessageId message;
+  routing::AcceptDecision decision = routing::AcceptDecision::kRefused;
+  friend bool operator==(const OfferReplyFrame&, const OfferReplyFrame&) = default;
+};
+
+/// One chunk of an encoded message copy (encode_message below). Chunk size
+/// is the transport's choice (LiveNode paces them by RadioParams.bitrate);
+/// reassembly is in-order by index, `chunk_count` fixed for the transfer.
+struct DataFrame {
+  msg::MessageId message;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 1;
+  std::vector<std::uint8_t> payload;
+  friend bool operator==(const DataFrame&, const DataFrame&) = default;
+};
+
+/// Token settlement: receiver -> sender after storing a copy (the live
+/// counterpart of TokenLedger::pay inside on_received).
+struct ReceiptFrame {
+  msg::MessageId message;
+  routing::TransferRole role = routing::TransferRole::kRelay;
+  double amount = 0.0;
+  friend bool operator==(const ReceiptFrame&, const ReceiptFrame&) = default;
+};
+
+using Frame = std::variant<HelloFrame, ByeFrame, InterestDigestFrame, RatingGossipFrame,
+                           OfferFrame, OfferReplyFrame, DataFrame, ReceiptFrame>;
+
+[[nodiscard]] FrameType frame_type(const Frame& f);
+
+/// Append \p f (envelope + payload) to \p out. Returns the encoded size.
+std::size_t encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+
+/// A successfully decoded frame plus how many input bytes it consumed
+/// (datagrams may carry several frames back to back).
+struct DecodedFrame {
+  Frame frame;
+  std::size_t consumed = 0;
+};
+
+/// Decode the frame starting at \p bytes[0]. nullopt on bad magic/version/
+/// type, truncated input, length beyond kMaxFramePayload, or a payload whose
+/// fields do not consume exactly `length` bytes (garbage tail).
+[[nodiscard]] std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> bytes);
+
+/// --- full message codec (DATA payload) -----------------------------------
+
+/// Serialize a complete message copy: shared core (identity, payload
+/// metadata, ground-truth keywords, multimedia attributes), TTL, and the
+/// per-copy annotation / hop / path-rating state.
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const msg::Message& m);
+
+/// nullopt on truncation, invalid priority, or garbage tail.
+[[nodiscard]] std::optional<msg::Message> decode_message(std::span<const std::uint8_t> bytes);
+
+/// FNV-1a over the interned keyword names (id order, NUL separated): two
+/// nodes agree on every KeywordId wire value iff their hashes match.
+[[nodiscard]] std::uint64_t keyword_pool_hash(const msg::KeywordTable& table);
+
+}  // namespace dtnic::wire

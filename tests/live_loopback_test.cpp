@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "live/live_node.h"
+#include "obs/trace_replay.h"
+#include "obs/trace_sink.h"
+#include "scenario/config.h"
+#include "stats/metrics.h"
+#include "util/sim_time.h"
+
+/// Two in-process LiveNodes over real loopback UDP sockets (ephemeral ports),
+/// stepped with a synthetic clock: the same code the dtnic daemon runs, but
+/// deterministic and fast. The live-smoke ctest covers the two-process path;
+/// this suite covers the protocol logic — discovery, digest exchange,
+/// end-to-end delivery with settlement, and link expiry.
+
+namespace dtnic::live {
+namespace {
+
+using routing::NodeId;
+using util::SimTime;
+
+constexpr double kStep = 0.05;  ///< service cadence (s); << hello interval
+
+LiveNodeConfig base_config(std::uint32_t node) {
+  LiveNodeConfig cfg;
+  cfg.node = NodeId(node);
+  cfg.listen_port = 0;  // ephemeral: tests never collide on ports
+  cfg.hello_interval_s = 0.2;
+  cfg.peer_timeout_s = 0.7;
+  cfg.scenario.scheme = scenario::Scheme::kIncentive;
+  cfg.scenario.seed = 42;
+  cfg.keywords = {"news", "weather", "sports", "music"};
+  return cfg;
+}
+
+/// Step both nodes until \p done or the deadline; real sockets need a few
+/// service rounds per protocol phase even on loopback.
+template <typename Pred>
+bool run_until(LiveNode& a, LiveNode& b, SimTime& now, double deadline_s, Pred done) {
+  while (now.sec() < deadline_s) {
+    a.service(now);
+    b.service(now);
+    if (done()) return true;
+    now = now + SimTime::seconds(kStep);
+  }
+  return done();
+}
+
+TEST(LiveLoopback, DiscoveryBringsBothLinksUp) {
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+  // b has no seed: it learns a's endpoint from the incoming HELLO.
+
+  SimTime now = SimTime::zero();
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+  EXPECT_EQ(a.links_up(), 1u);
+  EXPECT_EQ(b.links_up(), 1u);
+  EXPECT_EQ(a.rejected_frames(), 0u);
+  EXPECT_EQ(b.rejected_frames(), 0u);
+}
+
+TEST(LiveLoopback, MismatchedKeywordPoolNeverLinks) {
+  LiveNode a(base_config(1));
+  LiveNodeConfig other = base_config(2);
+  other.keywords = {"news", "weather", "sports", "jazz"};  // different pool
+  LiveNode b(other);
+  ASSERT_NE(a.keyword_pool_hash(), b.keyword_pool_hash());
+
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+  b.add_seed_peer(NodeId(1), Endpoint{"127.0.0.1", a.local_port()});
+  SimTime now = SimTime::zero();
+  EXPECT_FALSE(run_until(a, b, now, 1.5,
+                         [&] { return a.link_up(NodeId(2)) || b.link_up(NodeId(1)); }));
+  // Each side drops the other's incompatible HELLOs and counts them.
+  EXPECT_GT(a.rejected_frames(), 0u);
+  EXPECT_GT(b.rejected_frames(), 0u);
+}
+
+TEST(LiveLoopback, DigestExchangeFeedsOracleAndGrowsInterests) {
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  SimTime now = SimTime::zero();
+  b.subscribe({"news", "sports"}, now);
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+  // a's ChitChat table picked up b's direct interests via the RTSR growth
+  // phase on the reconstructed digest (weights halved, but present).
+  auto* chitchat = routing::ChitChatRouter::of(a.host());
+  ASSERT_NE(chitchat, nullptr);
+  const msg::KeywordId news = a.keywords().find("news");
+  ASSERT_TRUE(news.valid());
+  const msg::KeywordId query[] = {news};
+  EXPECT_GT(chitchat->interests().sum_weights(query), 0.0);
+}
+
+TEST(LiveLoopback, EndToEndDeliveryWithSettlement) {
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  SimTime now = SimTime::zero();
+  b.subscribe({"news"}, now);
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+
+  const double a_tokens_before = a.tokens();
+  const double b_tokens_before = b.tokens();
+  const msg::MessageId id =
+      a.publish({"news", "weather"}, now, 8192, msg::Priority::kHigh, 1.0);
+  EXPECT_EQ(id.value(), 1u * 0x100000u + 0u);  // node-namespaced id space
+
+  ASSERT_TRUE(run_until(a, b, now, 10.0,
+                        [&] { return b.metrics().delivered_unique() == 1; }));
+
+  // Sender side: one creation, one transfer started, nothing refused.
+  EXPECT_EQ(a.metrics().created(), 1u);
+  EXPECT_EQ(a.metrics().traffic(), 1u);
+  EXPECT_EQ(a.metrics().aborted(), 0u);
+
+  // Receiver side: delivered as destination (b subscribes to "news"),
+  // copy stored, tokens paid for the relevant content.
+  EXPECT_EQ(b.metrics().delivered_unique(), 1u);
+  EXPECT_EQ(b.metrics().relay_arrivals(), 0u);
+  EXPECT_NE(b.host().buffer().find(id), nullptr);
+  EXPECT_TRUE(b.host().has_seen(id));
+  EXPECT_GT(b.metrics().tokens_paid_total(), 0.0);
+  EXPECT_LT(b.tokens(), b_tokens_before);
+
+  // The RECEIPT credits the sender (payment may be clipped by b's balance,
+  // so compare against the actual paid amount).
+  ASSERT_TRUE(run_until(a, b, now, 12.0,
+                        [&] { return a.tokens() > a_tokens_before; }));
+  EXPECT_DOUBLE_EQ(a.tokens() - a_tokens_before, b.metrics().tokens_paid_total());
+
+  // DRM: b judged the source and updated its rating store.
+  EXPECT_GT(b.metrics().reputation_updates(), 0u);
+
+  // No spurious re-offer: the message stays delivered exactly once.
+  const double settle_until = now.sec() + 1.0;
+  run_until(a, b, now, settle_until, [] { return false; });
+  EXPECT_EQ(b.metrics().delivered_unique(), 1u);
+  EXPECT_EQ(b.metrics().deliveries_total(), 1u);
+}
+
+TEST(LiveLoopback, DuplicateOfferIsRefused) {
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  SimTime now = SimTime::zero();
+  b.subscribe({"news"}, now);
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+
+  a.publish({"news"}, now, 1024, msg::Priority::kMedium, 1.0);
+  ASSERT_TRUE(run_until(a, b, now, 10.0,
+                        [&] { return b.metrics().delivered_unique() == 1; }));
+
+  // Publish the same content from b's side of the exchange: b already has
+  // the id marked seen, so a fresh offer of that id must be refused — which
+  // the protocol exercises when links flap. Simulate by tearing the link
+  // down (timeout) and re-establishing: the offered-set is per-PeerState,
+  // but b's seen-set persists, so re-offers get kDuplicate.
+  const double silent_until = now.sec() + 2.0;
+  while (now.sec() < silent_until) {  // only b services: a goes silent for b
+    b.service(now);
+    now = now + SimTime::seconds(kStep);
+  }
+  EXPECT_FALSE(b.link_up(NodeId(1)));
+
+  ASSERT_TRUE(run_until(a, b, now, now.sec() + 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+  const double resettle_until = now.sec() + 2.0;
+  run_until(a, b, now, resettle_until, [] { return false; });
+  // Still exactly one delivery; the re-offer (if any) was refused as a
+  // duplicate rather than double-delivered.
+  EXPECT_EQ(b.metrics().delivered_unique(), 1u);
+  EXPECT_EQ(b.metrics().deliveries_total(), 1u);
+}
+
+TEST(LiveLoopback, SilentPeerExpiresAndTransfersAbort) {
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  SimTime now = SimTime::zero();
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+
+  // b stops servicing entirely; a must notice within the timeout.
+  const double deadline = now.sec() + 3.0;
+  while (now.sec() < deadline && a.link_up(NodeId(2))) {
+    a.service(now);
+    now = now + SimTime::seconds(kStep);
+  }
+  EXPECT_FALSE(a.link_up(NodeId(2)));
+}
+
+TEST(LiveLoopback, TraceReplayReproducesLiveCounters) {
+  // The acceptance contract: a live run's trace replays into a fresh
+  // MetricsCollector with identical counters, exactly like a sim trace.
+  std::stringstream trace_a;
+  std::stringstream trace_b;
+
+  LiveNode a(base_config(1));
+  LiveNode b(base_config(2));
+  SimTime now = SimTime::zero();
+
+  obs::TraceOptions options;
+  options.seed = 42;
+  options.scheme = "incentive";
+  options.clock = [&now]() { return now; };
+  obs::TraceSink sink_a(trace_a, options);
+  obs::TraceSink sink_b(trace_b, options);
+  auto handle_a = a.events().add_sink(sink_a);
+  auto handle_b = b.events().add_sink(sink_b);
+
+  b.subscribe({"news"}, now);
+  a.add_seed_peer(NodeId(2), Endpoint{"127.0.0.1", b.local_port()});
+  ASSERT_TRUE(run_until(a, b, now, 5.0,
+                        [&] { return a.link_up(NodeId(2)) && b.link_up(NodeId(1)); }));
+  a.publish({"news"}, now, 4096, msg::Priority::kHigh, 1.0);
+  ASSERT_TRUE(run_until(a, b, now, 10.0,
+                        [&] { return b.metrics().delivered_unique() == 1; }));
+  const double drain_until = now.sec() + 1.0;
+  run_until(a, b, now, drain_until, [] { return false; });
+  sink_a.flush();
+  sink_b.flush();
+
+  for (auto* pair : {&a, &b}) {
+    std::stringstream& trace = pair == &a ? trace_a : trace_b;
+    const stats::MetricsCollector& live = pair->metrics();
+    stats::MetricsCollector replayed;
+    obs::replay_trace(trace, replayed);
+    EXPECT_EQ(replayed.created(), live.created());
+    EXPECT_EQ(replayed.delivered_unique(), live.delivered_unique());
+    EXPECT_EQ(replayed.relay_arrivals(), live.relay_arrivals());
+    EXPECT_EQ(replayed.traffic(), live.traffic());
+    EXPECT_EQ(replayed.tokens_paid_total(), live.tokens_paid_total());
+    EXPECT_EQ(replayed.reputation_updates(), live.reputation_updates());
+    EXPECT_EQ(replayed.mean_delivery_latency_s(), live.mean_delivery_latency_s());
+  }
+}
+
+}  // namespace
+}  // namespace dtnic::live

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace dtnic::util {
+namespace {
+
+// --- layout ------------------------------------------------------------------
+// The wire format is little-endian by definition, not by host accident: each
+// width has a byte-exact expectation, so the tests fail on a big-endian port
+// rather than silently producing a different byte stream.
+
+TEST(Bytes, U16LayoutIsLittleEndian) {
+  std::vector<std::uint8_t> out;
+  write_u16(out, 0xDC17);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x17);
+  EXPECT_EQ(out[1], 0xDC);
+}
+
+TEST(Bytes, U32LayoutIsLittleEndian) {
+  std::vector<std::uint8_t> out;
+  write_u32(out, 0x01020304u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0x04);
+  EXPECT_EQ(out[1], 0x03);
+  EXPECT_EQ(out[2], 0x02);
+  EXPECT_EQ(out[3], 0x01);
+}
+
+TEST(Bytes, U64LayoutIsLittleEndian) {
+  std::vector<std::uint8_t> out;
+  write_u64(out, 0x0102030405060708ull);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 8 - i);
+}
+
+// --- round trips -------------------------------------------------------------
+
+TEST(Bytes, U16RoundTripEdges) {
+  for (std::uint32_t v : {0u, 1u, 0x7fffu, 0x8000u, 0xffffu}) {
+    std::vector<std::uint8_t> out;
+    write_u16(out, static_cast<std::uint16_t>(v));
+    EXPECT_EQ(read_u16(out.data()), v);
+  }
+}
+
+TEST(Bytes, U32RoundTripEdges) {
+  for (std::uint32_t v : {0u, 1u, 0x7fffffffu, 0x80000000u, 0xffffffffu}) {
+    std::vector<std::uint8_t> out;
+    write_u32(out, v);
+    EXPECT_EQ(read_u32(out.data()), v);
+  }
+}
+
+TEST(Bytes, U64RoundTripEdges) {
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x7fffffffffffffff},
+                          std::uint64_t{0x8000000000000000}, ~std::uint64_t{0}}) {
+    std::vector<std::uint8_t> out;
+    write_u64(out, v);
+    EXPECT_EQ(read_u64(out.data()), v);
+  }
+}
+
+// Signed values cross the wire as their two's-complement unsigned image; the
+// cast round trip must restore the original (rank is an int32 on the wire).
+TEST(Bytes, SignedViaUnsignedImage) {
+  for (std::int32_t v : {0, 1, -1, std::numeric_limits<std::int32_t>::min(),
+                         std::numeric_limits<std::int32_t>::max()}) {
+    std::vector<std::uint8_t> out;
+    write_u32(out, static_cast<std::uint32_t>(v));
+    EXPECT_EQ(static_cast<std::int32_t>(read_u32(out.data())), v);
+  }
+}
+
+TEST(Bytes, F64RoundTripSpecials) {
+  const double specials[] = {0.0,
+                             -0.0,
+                             1.0,
+                             -1.5,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::epsilon()};
+  for (double v : specials) {
+    std::vector<std::uint8_t> out;
+    write_f64(out, v);
+    const double back = read_f64(out.data());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back), std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Bytes, F64PreservesNanPayload) {
+  const double nan = std::bit_cast<double>(0x7ff8dead'beef0001ull);
+  std::vector<std::uint8_t> out;
+  write_f64(out, nan);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(read_f64(out.data())), 0x7ff8dead'beef0001ull);
+}
+
+// SimTime::infinity is the "never" sentinel; it must survive serialization or
+// a wire'd TTL of "no expiry" would corrupt into a huge-but-finite deadline.
+TEST(Bytes, SimTimeInfinityRoundTrips) {
+  std::vector<std::uint8_t> out;
+  write_f64(out, SimTime::infinity().sec());
+  const SimTime back = SimTime::seconds(read_f64(out.data()));
+  EXPECT_TRUE(std::isinf(back.sec()));
+  EXPECT_EQ(back, SimTime::infinity());
+}
+
+TEST(Bytes, RandomizedRoundTrips) {
+  Rng rng(0xb17e5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng();
+    std::vector<std::uint8_t> out;
+    write_u16(out, static_cast<std::uint16_t>(v));
+    write_u32(out, static_cast<std::uint32_t>(v));
+    write_u64(out, v);
+    write_f64(out, rng.uniform(-1e12, 1e12));
+    const double d = read_f64(out.data() + 14);
+    EXPECT_EQ(read_u16(out.data()), static_cast<std::uint16_t>(v));
+    EXPECT_EQ(read_u32(out.data() + 2), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(read_u64(out.data() + 6), v);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(d),
+              std::bit_cast<std::uint64_t>(read_f64(out.data() + 14)));
+  }
+}
+
+TEST(Bytes, StoreU32PatchesInPlace) {
+  std::vector<std::uint8_t> out;
+  write_u32(out, 0);
+  write_u32(out, 0xAABBCCDDu);
+  store_u32(out.data(), 0x11223344u);
+  EXPECT_EQ(read_u32(out.data()), 0x11223344u);
+  EXPECT_EQ(read_u32(out.data() + 4), 0xAABBCCDDu);  // neighbor untouched
+}
+
+}  // namespace
+}  // namespace dtnic::util

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/keyword.h"
+#include "msg/message.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "wire/frames.h"
+
+namespace dtnic::wire {
+namespace {
+
+using msg::KeywordId;
+using msg::MessageId;
+using msg::Priority;
+using routing::AcceptDecision;
+using routing::NodeId;
+using routing::TransferRole;
+using util::SimTime;
+
+/// One representative of every frame type, with non-default field values so
+/// a transposed field fails equality.
+std::vector<Frame> sample_frames() {
+  std::vector<Frame> frames;
+  frames.push_back(HelloFrame{NodeId(7), 1, -3, 0xfeedface12345678ull});
+  frames.push_back(ByeFrame{NodeId(9)});
+  frames.push_back(InterestDigestFrame{
+      NodeId(2),
+      {InterestEntry{KeywordId(0), 0.75, true}, InterestEntry{KeywordId(5), 0.125, false}}});
+  frames.push_back(RatingGossipFrame{
+      NodeId(3), {RatingEntry{NodeId(1), 4.5}, RatingEntry{NodeId(8), 0.5}}});
+  OfferFrame offer;
+  offer.message = MessageId(0x100001);
+  offer.source = NodeId(1);
+  offer.created_at = SimTime::seconds(12.5);
+  offer.size_bytes = 65536;
+  offer.priority = Priority::kHigh;
+  offer.quality = 0.875;
+  offer.role = TransferRole::kDestination;
+  offer.promise = 7.0;
+  offer.prepay = 0.25;
+  frames.push_back(offer);
+  frames.push_back(OfferReplyFrame{MessageId(0x100001), AcceptDecision::kNoTokens});
+  frames.push_back(DataFrame{MessageId(0x100001), 2, 5, {0xde, 0xad, 0xbe, 0xef}});
+  frames.push_back(ReceiptFrame{MessageId(0x100001), TransferRole::kRelay, 6.5});
+  return frames;
+}
+
+TEST(WireFrames, EveryTypeRoundTrips) {
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> bytes;
+    const std::size_t n = encode_frame(f, bytes);
+    EXPECT_EQ(n, bytes.size());
+    auto decoded = decode_frame(bytes);
+    ASSERT_TRUE(decoded.has_value()) << "frame type "
+                                     << static_cast<int>(frame_type(f));
+    EXPECT_EQ(decoded->consumed, bytes.size());
+    EXPECT_EQ(decoded->frame, f);
+  }
+}
+
+TEST(WireFrames, BackToBackFramesDecodeSequentially) {
+  std::vector<std::uint8_t> bytes;
+  const std::vector<Frame> frames = sample_frames();
+  for (const Frame& f : frames) encode_frame(f, bytes);
+
+  std::size_t offset = 0;
+  for (const Frame& f : frames) {
+    auto decoded = decode_frame(std::span(bytes).subspan(offset));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frame, f);
+    offset += decoded->consumed;
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+// --- totality: truncation, corruption, garbage -------------------------------
+
+TEST(WireFrames, EveryTruncationPrefixIsRejected) {
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(f, bytes);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(decode_frame(std::span(bytes.data(), len)).has_value())
+          << "type " << static_cast<int>(frame_type(f)) << " prefix " << len;
+    }
+  }
+}
+
+TEST(WireFrames, BadMagicVersionTypeAreRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(ByeFrame{NodeId(1)}, bytes);
+
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;  // magic low byte
+  EXPECT_FALSE(decode_frame(corrupt).has_value());
+
+  corrupt = bytes;
+  corrupt[2] = 2;  // unknown protocol version
+  EXPECT_FALSE(decode_frame(corrupt).has_value());
+
+  corrupt = bytes;
+  corrupt[3] = 0;  // type 0 is not assigned
+  EXPECT_FALSE(decode_frame(corrupt).has_value());
+  corrupt[3] = 9;  // one past kReceipt
+  EXPECT_FALSE(decode_frame(corrupt).has_value());
+}
+
+TEST(WireFrames, OversizedLengthIsRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(ByeFrame{NodeId(1)}, bytes);
+  // Claim a payload beyond the cap; decoder must refuse before trying to read.
+  bytes[4] = 0x01;
+  bytes[5] = 0x00;
+  bytes[6] = 0x01;  // length = 0x010001 = 65537 > 60 KiB
+  bytes[7] = 0x00;
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(WireFrames, GarbageTailInsidePayloadIsRejected) {
+  for (const Frame& f : sample_frames()) {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(f, bytes);
+    // Append one byte to the payload and fix up the length field: the fields
+    // no longer consume the payload exactly, so decode must fail.
+    bytes.push_back(0x00);
+    const std::uint32_t length = static_cast<std::uint32_t>(bytes.size() - kHeaderSize);
+    bytes[4] = static_cast<std::uint8_t>(length & 0xff);
+    bytes[5] = static_cast<std::uint8_t>((length >> 8) & 0xff);
+    EXPECT_FALSE(decode_frame(bytes).has_value())
+        << "type " << static_cast<int>(frame_type(f));
+  }
+}
+
+TEST(WireFrames, InvalidEnumValuesAreRejected) {
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(OfferReplyFrame{MessageId(1), AcceptDecision::kAccept}, bytes);
+    bytes[kHeaderSize + 4] = 200;  // decision byte past kRefused
+    EXPECT_FALSE(decode_frame(bytes).has_value());
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(ReceiptFrame{MessageId(1), TransferRole::kRelay, 0.0}, bytes);
+    bytes[kHeaderSize + 4] = 2;  // role byte: only 0/1 are assigned
+    EXPECT_FALSE(decode_frame(bytes).has_value());
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(DataFrame{MessageId(1), 0, 1, {0xaa}}, bytes);
+    bytes[kHeaderSize + 4] = 5;  // chunk_index 5 >= chunk_count 1
+    EXPECT_FALSE(decode_frame(bytes).has_value());
+  }
+}
+
+TEST(WireFrames, RandomGarbageNeverDecodes) {
+  util::Rng rng(0xf4a5);
+  // Random bytes essentially never start with the magic; the decoder must
+  // reject them all without crashing (run under ASan in the sanitizer job).
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> noise(rng.below(64));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+    if (noise.size() >= 2 && noise[0] == 0x17 && noise[1] == 0xDC) noise[0] = 0;
+    EXPECT_FALSE(decode_frame(noise).has_value());
+  }
+}
+
+TEST(WireFrames, BitFlipFuzzNeverCrashes) {
+  util::Rng rng(0xc0ffee);
+  const std::vector<Frame> frames = sample_frames();
+  for (int i = 0; i < 2000; ++i) {
+    const Frame& f = frames[rng.below(frames.size())];
+    std::vector<std::uint8_t> bytes;
+    encode_frame(f, bytes);
+    // Flip up to three random bits; decode must either fail or produce some
+    // valid frame — never UB. (EXPECT-free on purpose: totality is the
+    // property, the sanitizers are the oracle.)
+    for (int flip = 0; flip < 3; ++flip) {
+      bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    (void)decode_frame(bytes);
+  }
+}
+
+// --- golden vectors ----------------------------------------------------------
+// Committed byte-for-byte expectations: any change to these is a wire format
+// break and needs a protocol version bump, not a test update.
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (std::uint8_t b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+TEST(WireFrames, GoldenHello) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(HelloFrame{NodeId(7), 1, 2, 0x1122334455667788ull}, bytes);
+  EXPECT_EQ(to_hex(bytes),
+            "17dc010112000000"   // magic, ver 1, type 1, length 18
+            "07000000"           // node 7
+            "0100"               // proto 1
+            "02000000"           // rank 2
+            "8877665544332211")  // pool hash (little-endian)
+      << "HELLO wire layout changed — protocol version bump required";
+}
+
+TEST(WireFrames, GoldenBye) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(ByeFrame{NodeId(3)}, bytes);
+  EXPECT_EQ(to_hex(bytes), "17dc01020400000003000000");
+}
+
+TEST(WireFrames, GoldenOfferReply) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(OfferReplyFrame{MessageId(0x100002), AcceptDecision::kDuplicate}, bytes);
+  EXPECT_EQ(to_hex(bytes),
+            "17dc010605000000"  // envelope, type 6, length 5
+            "02001000"          // message id 0x100002
+            "01");              // decision kDuplicate = 1
+}
+
+TEST(WireFrames, GoldenInterestDigest) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(InterestDigestFrame{NodeId(1), {InterestEntry{KeywordId(2), 0.5, true}}},
+               bytes);
+  EXPECT_EQ(to_hex(bytes),
+            "17dc010315000000"   // envelope, type 3, length 21
+            "01000000"           // node 1
+            "01000000"           // 1 entry
+            "02000000"           // keyword 2
+            "000000000000e03f"   // weight 0.5 (IEEE-754 LE)
+            "01");               // direct
+}
+
+TEST(WireFrames, GoldenReceipt) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(ReceiptFrame{MessageId(5), TransferRole::kDestination, 7.0}, bytes);
+  EXPECT_EQ(to_hex(bytes),
+            "17dc01080d000000"   // envelope, type 8, length 13
+            "05000000"           // message 5
+            "00"                 // role destination
+            "0000000000001c40"); // amount 7.0
+}
+
+// The pool hash is part of the HELLO compatibility contract; pin it to the
+// documented algorithm (FNV-1a over NUL-separated names in id order) with an
+// independent reimplementation, so an accidental change can't silently split
+// the overlay.
+TEST(WireFrames, GoldenKeywordPoolHash) {
+  msg::KeywordTable table;
+  table.intern("news");
+  table.intern("weather");
+  std::uint64_t expected = 0xcbf29ce484222325ull;
+  for (const char c : std::string("news\0weather\0", 13)) {
+    expected = (expected ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+  }
+  EXPECT_EQ(keyword_pool_hash(table), expected);
+  // Order and separator sensitivity.
+  msg::KeywordTable reordered;
+  reordered.intern("weather");
+  reordered.intern("news");
+  EXPECT_NE(keyword_pool_hash(table), keyword_pool_hash(reordered));
+  msg::KeywordTable merged;
+  merged.intern("newsweather");
+  EXPECT_NE(keyword_pool_hash(table), keyword_pool_hash(merged));
+  msg::KeywordTable empty;
+  EXPECT_NE(keyword_pool_hash(table), keyword_pool_hash(empty));
+}
+
+// --- full message codec ------------------------------------------------------
+
+msg::Message sample_message() {
+  msg::Message m(MessageId(0x200007), NodeId(2), SimTime::seconds(100.25), 4096,
+                 Priority::kLow, 0.75);
+  m.set_true_keywords({KeywordId(0), KeywordId(3)});
+  m.annotate(msg::Annotation{KeywordId(0), NodeId(2), true});
+  m.annotate(msg::Annotation{KeywordId(3), NodeId(2), true});
+  m.annotate(msg::Annotation{KeywordId(1), NodeId(5), false});
+  m.set_mime_type("video/mp4");
+  m.set_format("mp4");
+  m.set_location(msg::GeoTag{48.8584, 2.2945});
+  m.record_hop(NodeId(2), SimTime::seconds(100.25));
+  m.record_hop(NodeId(5), SimTime::seconds(160.0));
+  m.add_path_rating(msg::PathRating{NodeId(5), NodeId(2), 4.0});
+  return m;
+}
+
+TEST(WireMessage, FullStateRoundTrips) {
+  const msg::Message m = sample_message();
+  const std::vector<std::uint8_t> bytes = encode_message(m);
+  auto back = decode_message(bytes);
+  ASSERT_TRUE(back.has_value());
+
+  EXPECT_EQ(back->id(), m.id());
+  EXPECT_EQ(back->source(), m.source());
+  EXPECT_EQ(back->created_at(), m.created_at());
+  EXPECT_EQ(back->size_bytes(), m.size_bytes());
+  EXPECT_EQ(back->priority(), m.priority());
+  EXPECT_EQ(back->quality(), m.quality());
+  EXPECT_EQ(back->ttl(), m.ttl());
+  EXPECT_EQ(back->mime_type(), m.mime_type());
+  EXPECT_EQ(back->format(), m.format());
+  ASSERT_TRUE(back->location().has_value());
+  EXPECT_EQ(back->location()->latitude, m.location()->latitude);
+  EXPECT_EQ(back->location()->longitude, m.location()->longitude);
+  EXPECT_EQ(back->true_keywords(), m.true_keywords());
+  EXPECT_EQ(back->annotations().size(), m.annotations().size());
+  EXPECT_EQ(back->keywords(), m.keywords());
+  ASSERT_EQ(back->path().size(), m.path().size());
+  for (std::size_t i = 0; i < m.path().size(); ++i) {
+    EXPECT_EQ(back->path()[i].node, m.path()[i].node);
+    EXPECT_EQ(back->path()[i].received_at, m.path()[i].received_at);
+  }
+  ASSERT_EQ(back->path_ratings().size(), m.path_ratings().size());
+  EXPECT_EQ(back->path_ratings()[0].rating, m.path_ratings()[0].rating);
+}
+
+// The default TTL is SimTime::infinity ("never expires"); the codec must not
+// turn it into a finite deadline.
+TEST(WireMessage, InfiniteTtlSurvives) {
+  msg::Message m(MessageId(1), NodeId(1), SimTime::zero(), 16, Priority::kMedium, 1.0);
+  ASSERT_TRUE(std::isinf(m.ttl().sec()));
+  auto back = decode_message(encode_message(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::isinf(back->ttl().sec()));
+  EXPECT_EQ(back->ttl(), SimTime::infinity());
+}
+
+TEST(WireMessage, TruncationAndTailAreRejected) {
+  const std::vector<std::uint8_t> bytes = encode_message(sample_message());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode_message(std::span(bytes.data(), len)).has_value()) << len;
+  }
+  std::vector<std::uint8_t> tail = bytes;
+  tail.push_back(0x00);
+  EXPECT_FALSE(decode_message(tail).has_value());
+}
+
+TEST(WireMessage, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_message(sample_message()), encode_message(sample_message()));
+}
+
+}  // namespace
+}  // namespace dtnic::wire
